@@ -1,0 +1,138 @@
+// Figure 10: the §7 use case — understanding how token-bucket shaping
+// parameters interact with a Hulu-like player, *from encrypted traffic*.
+//
+// (a)/(b): track-time distribution and data usage vs token rate r (N=50KB).
+// (c)/(d): the same vs bucket size N (r=1.5 Mbps), under conditions B1
+// (stable 10 Mbps) and B2 (10 Mbps with dips to 1 Mbps).
+//
+// All reported QoE comes from the CSI-inferred chunk sequence, not from
+// player instrumentation — demonstrating the paper's point that shaping
+// policies can be evaluated despite end-to-end encryption.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/csi/inference.h"
+#include "src/csi/qoe.h"
+#include "src/testbed/experiment.h"
+
+using namespace csi;
+
+namespace {
+
+// Hulu-like setup of §7: 7 tracks, client starts on T1, converges to the
+// highest track whose bitrate is at most half the bandwidth, ~145 s buffer.
+media::Manifest MakeHuluAsset() {
+  media::EncoderConfig config;
+  config.ladder = media::GeometricLadder(7, 300 * kKbps, 5800 * kKbps);
+  config.target_pasr = 1.35;  // Hulu's Table 3 median
+  config.audio_bitrates = {128 * kKbps};
+  Rng rng(0x47);
+  return media::EncodeAsset("hulu-asset", "cdn.hulu.example", 12 * 60 * kUsPerSec, config,
+                            rng);
+}
+
+struct ShapingOutcome {
+  std::vector<double> track_fraction;
+  Bytes data_usage = 0;
+  int switches = 0;
+  int stalls = 0;
+};
+
+ShapingOutcome RunShaped(const media::Manifest& manifest, const nettrace::BandwidthTrace& bw,
+                         BitsPerSec rate, Bytes bucket, uint64_t seed) {
+  testbed::SessionConfig session;
+  session.design = infer::DesignType::kSH;  // Hulu Android is SH (Table 2)
+  session.manifest = &manifest;
+  session.downlink = bw;
+  session.adaptation = "hulu-like";
+  session.player.max_buffer = 145 * kUsPerSec;  // §7 measurement
+  session.duration = 10 * 60 * kUsPerSec;
+  session.seed = seed;
+  net::TokenBucketConfig shaper;
+  shaper.rate = rate;
+  shaper.bucket_size = bucket;
+  session.shaper = shaper;
+  const auto result = RunStreamingSession(session);
+
+  infer::InferenceConfig config;
+  config.design = infer::DesignType::kSH;
+  const infer::InferenceEngine engine(&manifest, config);
+  const auto inference = engine.Analyze(result.capture);
+  ShapingOutcome outcome;
+  outcome.track_fraction.assign(static_cast<size_t>(manifest.num_video_tracks()), 0.0);
+  if (inference.sequences.empty()) {
+    return outcome;
+  }
+  const infer::QoeReport qoe = infer::AnalyzeQoe(inference.sequences[0], manifest);
+  outcome.track_fraction = qoe.track_time_fraction;
+  outcome.data_usage = qoe.data_usage;
+  outcome.switches = qoe.track_switches;
+  outcome.stalls = qoe.stall_count;
+  return outcome;
+}
+
+void PrintSweep(const char* title, const media::Manifest& manifest,
+                const std::vector<std::pair<std::string, ShapingOutcome>>& rows) {
+  std::printf("%s\n", title);
+  TextTable table;
+  std::vector<std::string> header{"config"};
+  for (int t = 0; t < manifest.num_video_tracks(); ++t) {
+    header.push_back("T" + std::to_string(t + 1) + "%");
+  }
+  header.push_back("data");
+  header.push_back("switches");
+  header.push_back("stalls");
+  table.SetHeader(header);
+  for (const auto& [name, o] : rows) {
+    std::vector<std::string> row{name};
+    for (double f : o.track_fraction) {
+      row.push_back(FormatDouble(100 * f, 1));
+    }
+    row.push_back(FormatBytes(static_cast<double>(o.data_usage)));
+    row.push_back(std::to_string(o.switches));
+    row.push_back(std::to_string(o.stalls));
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const media::Manifest manifest = MakeHuluAsset();
+  const auto b1 = nettrace::ConditionB1();
+  const auto b2 = nettrace::ConditionB2();
+
+  std::printf("Figure 10 — token-bucket shaping vs Hulu-like player (QoE inferred by CSI)\n\n");
+
+  // (a)/(b): sweep token rate r with small bucket N = 50 KB.
+  for (const auto* cond : {&b1, &b2}) {
+    std::vector<std::pair<std::string, ShapingOutcome>> rows;
+    uint64_t seed = 500;
+    for (double r : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+      rows.emplace_back("r=" + FormatDouble(r, 1) + "Mbps N=50KB",
+                        RunShaped(manifest, *cond, r * kMbps, 50 * kKB, ++seed));
+    }
+    PrintSweep(
+        (std::string("(a/b) rate sweep under ") + cond->name()).c_str(), manifest, rows);
+  }
+
+  // (c)/(d): sweep bucket size N with r = 1.5 Mbps.
+  for (const auto* cond : {&b1, &b2}) {
+    std::vector<std::pair<std::string, ShapingOutcome>> rows;
+    uint64_t seed = 900;
+    for (Bytes n : {50 * kKB, 500 * kKB, 5 * kMB}) {
+      rows.emplace_back("r=1.5Mbps N=" + FormatBytes(static_cast<double>(n)),
+                        RunShaped(manifest, *cond, 1.5 * kMbps, n, ++seed));
+    }
+    PrintSweep(
+        (std::string("(c/d) bucket sweep under ") + cond->name()).c_str(), manifest, rows);
+  }
+
+  std::printf(
+      "Paper's findings to compare: higher r -> more time on high tracks and more\n"
+      "data; larger N -> bursts let the player ramp to higher tracks (N=5MB uses\n"
+      "~2.2x the data of N=50KB under B2) at the cost of more track switches.\n");
+  return 0;
+}

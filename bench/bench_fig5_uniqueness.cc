@@ -1,0 +1,55 @@
+// Figure 5 + §3.3 Q1: fraction of unique chunk sequences vs sequence length,
+// for Big-Buck-Bunny-style encodings spanning PASR 1.1..2.0, at k = 1%
+// (HTTPS) and k = 5% (QUIC).
+//
+// Paper reference points: <0.1% of single chunks unique at k=1% (Q1);
+// 99.9% of 3-chunk sequences unique at k=1% and 92.6% of 6-chunk sequences
+// unique at k=5% for PASR 1.1. Our synthetic encoder reproduces the shape
+// (steep growth with length, ordering by PASR and k); see EXPERIMENTS.md for
+// the quantitative comparison.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/csi/uniqueness.h"
+#include "src/media/encoder.h"
+
+using namespace csi;
+
+int main() {
+  constexpr int kSamples = 2500;
+  const std::vector<int> lengths{1, 2, 3, 4, 5, 6, 7, 8};
+
+  for (double k : {0.01, 0.05}) {
+    std::printf("Figure 5 — %% unique sequences vs length (k = %.0f%%)\n",
+                k * 100);
+    TextTable table;
+    std::vector<std::string> header{"PASR", "single-unique%"};
+    for (int len : lengths) {
+      header.push_back("L=" + std::to_string(len));
+    }
+    table.SetHeader(header);
+    for (int p = 0; p < 10; ++p) {
+      const double pasr = 1.1 + 0.1 * p;
+      media::EncoderConfig config;
+      config.target_pasr = pasr;
+      Rng rng(0xF165 + static_cast<uint64_t>(p));
+      // BBB is ~10 min; six tracks, 5-s chunks (paper §3.3 methodology).
+      const media::Manifest m =
+          media::EncodeAsset("bbb", "cdn.example", 10 * 60 * kUsPerSec, config, rng);
+      std::vector<std::string> row{FormatDouble(pasr, 1),
+                                   FormatDouble(100 * infer::UniqueSingleChunkFraction(m, k), 2)};
+      Rng sample_rng(0x5A17 + static_cast<uint64_t>(p));
+      for (int len : lengths) {
+        row.push_back(FormatDouble(
+            100 * infer::UniqueSequenceFraction(m, len, k, kSamples, sample_rng), 1));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Q1 (paper): single chunks are almost never unique; identifiability comes\n"
+      "from short *sequences* of sizes, and grows rapidly with sequence length.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// §6.2.3: CSI computation time. The paper reports a few seconds for a
+// 10-minute trace on the non-MUX designs and up to ~1 minute for SQ.
+// google-benchmark over the inference engine, excluding session simulation.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/csi/inference.h"
+#include "src/testbed/experiment.h"
+
+using namespace csi;
+
+namespace {
+
+struct PreparedSession {
+  media::Manifest manifest;
+  testbed::SessionResult session;
+};
+
+const PreparedSession& Prepare(infer::DesignType design) {
+  static std::map<infer::DesignType, std::unique_ptr<PreparedSession>> cache;
+  auto it = cache.find(design);
+  if (it == cache.end()) {
+    auto prepared = std::make_unique<PreparedSession>();
+    prepared->manifest = testbed::MakeAssetForDesign(design, 1, 10 * 60 * kUsPerSec);
+    testbed::SessionConfig config;
+    config.design = design;
+    config.manifest = &prepared->manifest;
+    Rng rng(0x623);
+    config.downlink =
+        nettrace::CellularTrace("bench", 6 * kMbps, 0.5, 10 * 60 * kUsPerSec, 2 * kUsPerSec, rng);
+    config.duration = 10 * 60 * kUsPerSec;
+    config.seed = 99;
+    prepared->session = RunStreamingSession(config);
+    it = cache.emplace(design, std::move(prepared)).first;
+  }
+  return *it->second;
+}
+
+void BM_Inference(benchmark::State& state, infer::DesignType design) {
+  const PreparedSession& prepared = Prepare(design);
+  infer::InferenceConfig config;
+  config.design = design;
+  const infer::InferenceEngine engine(&prepared.manifest, config);
+  for (auto _ : state) {
+    auto result = engine.Analyze(prepared.session.capture);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["packets"] = static_cast<double>(prepared.session.capture.size());
+  state.counters["chunks"] = static_cast<double>(prepared.session.downloads.size());
+}
+
+void BM_DatabaseBuild(benchmark::State& state) {
+  const PreparedSession& prepared = Prepare(infer::DesignType::kSH);
+  for (auto _ : state) {
+    infer::ChunkDatabase db(&prepared.manifest);
+    benchmark::DoNotOptimize(db);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Inference, CH_10min_trace, infer::DesignType::kCH)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, SH_10min_trace, infer::DesignType::kSH)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, CQ_10min_trace, infer::DesignType::kCQ)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Inference, SQ_10min_trace, infer::DesignType::kSQ)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DatabaseBuild)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#include "src/app/origin_server.h"
+
+#include <stdexcept>
+
+namespace csi::app {
+
+void OriginServer::Host(const media::Manifest* manifest) {
+  assets_[manifest->asset_id] = manifest;
+}
+
+const media::Manifest* OriginServer::FindAsset(const std::string& asset_id) const {
+  auto it = assets_.find(asset_id);
+  return it == assets_.end() ? nullptr : it->second;
+}
+
+Bytes OriginServer::ResponseBytesFor(const std::string& tag) const {
+  const Resource r = Resource::FromTag(tag);
+  const media::Manifest* manifest = FindAsset(r.asset_id);
+  if (manifest == nullptr) {
+    throw std::out_of_range("OriginServer: unknown asset " + r.asset_id);
+  }
+  switch (r.kind) {
+    case Resource::Kind::kManifest:
+      return manifest->SerializedSize();
+    case Resource::Kind::kChunk:
+      return manifest->SizeOf(r.chunk);
+    case Resource::Kind::kHead:
+      return 0;  // headers only
+  }
+  return 0;
+}
+
+}  // namespace csi::app

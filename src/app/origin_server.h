@@ -1,0 +1,38 @@
+// Origin server: serves manifests and chunks for hosted assets.
+//
+// Implements the `ServerHandler` role of `http::HttpSession`: given a request
+// tag it returns the response body size. HEAD requests return zero body —
+// they are how CSI's metadata collector queries chunk sizes when a manifest
+// only lists URLs (paper §4.1).
+
+#ifndef CSI_SRC_APP_ORIGIN_SERVER_H_
+#define CSI_SRC_APP_ORIGIN_SERVER_H_
+
+#include <map>
+#include <string>
+
+#include "src/app/resource.h"
+#include "src/common/units.h"
+#include "src/media/manifest.h"
+
+namespace csi::app {
+
+class OriginServer {
+ public:
+  // Registers an asset; the server keeps a pointer (caller keeps ownership
+  // alive for the server's lifetime).
+  void Host(const media::Manifest* manifest);
+
+  // Response body size for a request tag. Unknown assets/refs throw
+  // std::out_of_range (a real server would 404).
+  Bytes ResponseBytesFor(const std::string& tag) const;
+
+  const media::Manifest* FindAsset(const std::string& asset_id) const;
+
+ private:
+  std::map<std::string, const media::Manifest*> assets_;
+};
+
+}  // namespace csi::app
+
+#endif  // CSI_SRC_APP_ORIGIN_SERVER_H_

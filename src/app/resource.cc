@@ -1,0 +1,83 @@
+#include "src/app/resource.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace csi::app {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(s);
+  while (std::getline(in, part, sep)) {
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string Resource::ToTag() const {
+  switch (kind) {
+    case Kind::kManifest:
+      return "manifest:" + asset_id;
+    case Kind::kChunk:
+    case Kind::kHead: {
+      std::ostringstream out;
+      out << (kind == Kind::kChunk ? "chunk:" : "head:") << asset_id << ":"
+          << (chunk.type == media::MediaType::kVideo ? "v" : "a") << ":" << chunk.track << ":"
+          << chunk.index;
+      return out.str();
+    }
+  }
+  return {};
+}
+
+Resource Resource::FromTag(const std::string& tag) {
+  const auto parts = Split(tag, ':');
+  if (parts.empty()) {
+    throw std::invalid_argument("Resource: empty tag");
+  }
+  Resource r;
+  if (parts[0] == "manifest" && parts.size() == 2) {
+    r.kind = Kind::kManifest;
+    r.asset_id = parts[1];
+    return r;
+  }
+  if ((parts[0] == "chunk" || parts[0] == "head") && parts.size() == 5) {
+    r.kind = parts[0] == "chunk" ? Kind::kChunk : Kind::kHead;
+    r.asset_id = parts[1];
+    r.chunk.type = parts[2] == "v" ? media::MediaType::kVideo : media::MediaType::kAudio;
+    r.chunk.track = std::stoi(parts[3]);
+    r.chunk.index = std::stoi(parts[4]);
+    return r;
+  }
+  throw std::invalid_argument("Resource: bad tag '" + tag + "'");
+}
+
+Resource Resource::ManifestOf(const std::string& asset_id) {
+  Resource r;
+  r.kind = Kind::kManifest;
+  r.asset_id = asset_id;
+  return r;
+}
+
+Resource Resource::ChunkOf(const std::string& asset_id, media::ChunkRef ref) {
+  Resource r;
+  r.kind = Kind::kChunk;
+  r.asset_id = asset_id;
+  r.chunk = ref;
+  return r;
+}
+
+Resource Resource::HeadOf(const std::string& asset_id, media::ChunkRef ref) {
+  Resource r;
+  r.kind = Kind::kHead;
+  r.asset_id = asset_id;
+  r.chunk = ref;
+  return r;
+}
+
+}  // namespace csi::app

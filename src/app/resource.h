@@ -1,0 +1,34 @@
+// Resource naming between player and origin server.
+//
+// A `Resource` stands in for the HTTP request URL. On a real wire the URL is
+// encrypted — CSI never sees it — but the simulated client and server need a
+// shared name for what is being fetched. Tags round-trip through a compact
+// string form ("chunk:<asset>:v:<track>:<index>" etc.).
+
+#ifndef CSI_SRC_APP_RESOURCE_H_
+#define CSI_SRC_APP_RESOURCE_H_
+
+#include <string>
+
+#include "src/media/manifest.h"
+
+namespace csi::app {
+
+struct Resource {
+  enum class Kind { kManifest, kChunk, kHead };
+
+  Kind kind = Kind::kManifest;
+  std::string asset_id;
+  media::ChunkRef chunk;  // valid when kind is kChunk or kHead
+
+  std::string ToTag() const;
+  static Resource FromTag(const std::string& tag);
+
+  static Resource ManifestOf(const std::string& asset_id);
+  static Resource ChunkOf(const std::string& asset_id, media::ChunkRef ref);
+  static Resource HeadOf(const std::string& asset_id, media::ChunkRef ref);
+};
+
+}  // namespace csi::app
+
+#endif  // CSI_SRC_APP_RESOURCE_H_

@@ -1,0 +1,34 @@
+#include "src/capture/capture.h"
+
+#include <utility>
+
+namespace csi::capture {
+
+PacketRecord RecordFrom(const net::Packet& packet, TimeUs now) {
+  PacketRecord r;
+  r.timestamp = now;
+  r.from_client = packet.from_client;
+  r.transport = packet.transport;
+  r.client_ip = packet.client_ip;
+  r.server_ip = packet.server_ip;
+  r.client_port = packet.client_port;
+  r.server_port = packet.server_port;
+  r.payload = packet.payload;
+  r.wire_size = packet.WireSize();
+  r.tcp_seq = packet.tcp_seq;
+  r.tcp_ack = packet.tcp_ack;
+  r.quic_packet_number = packet.quic_packet_number;
+  r.sni = packet.sni;
+  return r;
+}
+
+net::PacketSink GatewayTap::Tap(net::PacketSink next) {
+  return [this, next = std::move(next)](const net::Packet& packet) {
+    trace_.push_back(RecordFrom(packet, sim_->Now()));
+    if (next) {
+      next(packet);
+    }
+  };
+}
+
+}  // namespace csi::capture

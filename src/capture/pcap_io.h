@@ -1,0 +1,39 @@
+// pcap import/export for capture traces.
+//
+// `WritePcap` serializes a `CaptureTrace` as a classic libpcap file
+// (LINKTYPE_RAW, IPv4), synthesizing IP/TCP/UDP headers and just enough
+// payload structure — a TLS record header with the SNI for ClientHellos, and
+// a QUIC-style public header carrying the packet number — that `ReadPcap`
+// (or external tools like tcpdump/wireshark) can recover every field a real
+// capture would expose. Packets are truncated at a tcpdump-style snap length;
+// the original length is preserved in the per-packet header, exactly like a
+// `tcpdump -s 256` capture of encrypted traffic.
+
+#ifndef CSI_SRC_CAPTURE_PCAP_IO_H_
+#define CSI_SRC_CAPTURE_PCAP_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capture/packet_record.h"
+
+namespace csi::capture {
+
+inline constexpr uint32_t kPcapSnapLen = 256;
+
+// Serializes the trace into pcap bytes.
+std::vector<uint8_t> SerializePcap(const CaptureTrace& trace);
+
+// Parses pcap bytes back into a trace. The client side of each flow is the
+// endpoint using the ephemeral (non-443) port. Throws std::runtime_error on
+// malformed input.
+CaptureTrace ParsePcap(const std::vector<uint8_t>& bytes);
+
+// File convenience wrappers.
+void WritePcap(const std::string& path, const CaptureTrace& trace);
+CaptureTrace ReadPcap(const std::string& path);
+
+}  // namespace csi::capture
+
+#endif  // CSI_SRC_CAPTURE_PCAP_IO_H_

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (encoder complexity, link loss,
+// bandwidth traces, ...) draws from an explicitly seeded `Rng` so that every
+// experiment is reproducible from its seed. The generator is xoshiro256**,
+// seeded through SplitMix64 as its authors recommend.
+
+#ifndef CSI_SRC_COMMON_RNG_H_
+#define CSI_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace csi {
+
+class Rng {
+ public:
+  // Constructs a generator from a 64-bit seed. Two generators built from the
+  // same seed produce identical streams.
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal deviate (Box-Muller, cached spare).
+  double Normal();
+
+  // Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Log-normal deviate: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Exponential deviate with the given mean. Requires mean > 0.
+  double Exponential(double mean);
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p);
+
+  // Derives an independent child generator; useful to give each subsystem its
+  // own stream without correlated draws.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace csi
+
+#endif  // CSI_SRC_COMMON_RNG_H_

@@ -1,0 +1,59 @@
+// Small statistics helpers shared by the encoder, the player's throughput
+// estimator, and the experiment harness.
+
+#ifndef CSI_SRC_COMMON_STATS_H_
+#define CSI_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace csi {
+
+// Accumulates count / mean / variance / min / max in one pass (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Returns the p-th percentile (p in [0, 100]) of `values` using linear
+// interpolation between order statistics. Returns 0 for empty input. The input
+// is copied, not mutated.
+double Percentile(std::vector<double> values, double p);
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+// Exponentially-weighted moving average with a configurable smoothing factor.
+class Ewma {
+ public:
+  // `alpha` is the weight of each new sample, in (0, 1].
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double sample);
+  bool has_value() const { return has_value_; }
+  double value() const { return value_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+}  // namespace csi
+
+#endif  // CSI_SRC_COMMON_STATS_H_

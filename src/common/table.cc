@@ -1,0 +1,70 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace csi {
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size(), ' ');
+      out << (c + 1 == widths.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "GB";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "MB";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "KB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix);
+  return buf;
+}
+
+}  // namespace csi

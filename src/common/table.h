@@ -1,0 +1,39 @@
+// Plain-text table rendering for benchmark / experiment output.
+//
+// The benchmark binaries reproduce tables and figures from the paper; this
+// helper keeps their console output aligned and uniform.
+
+#ifndef CSI_SRC_COMMON_TABLE_H_
+#define CSI_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace csi {
+
+class TextTable {
+ public:
+  // Sets the header row. Column count is fixed by the header.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a data row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with column-aligned cells and a separator under the
+  // header.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double v, int decimals);
+
+// Formats a byte count with a human-readable suffix (e.g. "1.5 MB").
+std::string FormatBytes(double bytes);
+
+}  // namespace csi
+
+#endif  // CSI_SRC_COMMON_TABLE_H_

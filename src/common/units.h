@@ -1,0 +1,61 @@
+// Fundamental units used throughout the CSI codebase.
+//
+// Simulated time is an integer count of microseconds since the start of the
+// simulation (type `TimeUs`). Data sizes are byte counts (`Bytes`), and link
+// rates are bits per second (`BitsPerSec`). Keeping these as distinct aliases
+// (rather than raw int64_t everywhere) makes call sites self-documenting.
+
+#ifndef CSI_SRC_COMMON_UNITS_H_
+#define CSI_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace csi {
+
+// Simulated time in microseconds.
+using TimeUs = int64_t;
+
+// Data size in bytes.
+using Bytes = int64_t;
+
+// Link / encoding rate in bits per second.
+using BitsPerSec = double;
+
+inline constexpr TimeUs kUsPerMs = 1'000;
+inline constexpr TimeUs kUsPerSec = 1'000'000;
+
+inline constexpr Bytes kKiB = 1'024;
+inline constexpr Bytes kMiB = 1'024 * 1'024;
+inline constexpr Bytes kKB = 1'000;
+inline constexpr Bytes kMB = 1'000'000;
+
+inline constexpr BitsPerSec kKbps = 1'000.0;
+inline constexpr BitsPerSec kMbps = 1'000'000.0;
+
+// Converts seconds (as a double) to simulated microseconds.
+constexpr TimeUs SecondsToUs(double seconds) {
+  return static_cast<TimeUs>(seconds * static_cast<double>(kUsPerSec));
+}
+
+// Converts simulated microseconds to seconds.
+constexpr double UsToSeconds(TimeUs us) {
+  return static_cast<double>(us) / static_cast<double>(kUsPerSec);
+}
+
+// Time needed to serialize `bytes` onto a link running at `rate` bits/sec.
+constexpr TimeUs TransmissionTimeUs(Bytes bytes, BitsPerSec rate) {
+  if (rate <= 0.0) {
+    return 0;
+  }
+  return static_cast<TimeUs>(static_cast<double>(bytes) * 8.0 /
+                             rate * static_cast<double>(kUsPerSec));
+}
+
+// Number of bytes a link at `rate` bits/sec delivers in `us` microseconds.
+constexpr Bytes BytesInTime(BitsPerSec rate, TimeUs us) {
+  return static_cast<Bytes>(rate * UsToSeconds(us) / 8.0);
+}
+
+}  // namespace csi
+
+#endif  // CSI_SRC_COMMON_UNITS_H_

@@ -1,0 +1,72 @@
+#include "src/csi/chunk_database.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csi::infer {
+
+ChunkDatabase::ChunkDatabase(const media::Manifest* manifest) : manifest_(manifest) {
+  num_tracks_ = manifest->num_video_tracks();
+  num_positions_ = manifest->num_positions();
+  by_size_.resize(static_cast<size_t>(num_tracks_));
+  min_at_.assign(static_cast<size_t>(num_positions_), 0);
+  max_at_.assign(static_cast<size_t>(num_positions_), 0);
+  for (int t = 0; t < num_tracks_; ++t) {
+    const auto& chunks = manifest->video_tracks[static_cast<size_t>(t)].chunks;
+    auto& list = by_size_[static_cast<size_t>(t)];
+    list.reserve(chunks.size());
+    for (int i = 0; i < num_positions_; ++i) {
+      const Bytes size = chunks[static_cast<size_t>(i)].size;
+      list.emplace_back(size, i);
+      if (t == 0) {
+        min_at_[static_cast<size_t>(i)] = size;
+        max_at_[static_cast<size_t>(i)] = size;
+      } else {
+        min_at_[static_cast<size_t>(i)] = std::min(min_at_[static_cast<size_t>(i)], size);
+        max_at_[static_cast<size_t>(i)] = std::max(max_at_[static_cast<size_t>(i)], size);
+      }
+    }
+    std::sort(list.begin(), list.end());
+  }
+  for (const auto& track : manifest->audio_tracks) {
+    audio_sizes_.push_back(track.chunks.empty() ? 0 : track.chunks[0].size);
+  }
+}
+
+std::vector<media::ChunkRef> ChunkDatabase::VideoCandidates(Bytes estimated, double k) const {
+  std::vector<media::ChunkRef> out;
+  const Bytes lo =
+      static_cast<Bytes>(std::ceil(static_cast<double>(estimated) / (1.0 + k)));
+  const Bytes hi = estimated;
+  for (int t = 0; t < num_tracks_; ++t) {
+    const auto& list = by_size_[static_cast<size_t>(t)];
+    auto first = std::lower_bound(list.begin(), list.end(), std::make_pair(lo, -1));
+    for (auto it = first; it != list.end() && it->first <= hi; ++it) {
+      out.push_back(media::ChunkRef{media::MediaType::kVideo, t, it->second});
+    }
+  }
+  return out;
+}
+
+bool ChunkDatabase::AudioPossible(Bytes estimated, double k) const {
+  return MatchingAudioTrack(estimated, k) >= 0;
+}
+
+int ChunkDatabase::MatchingAudioTrack(Bytes estimated, double k) const {
+  for (size_t a = 0; a < audio_sizes_.size(); ++a) {
+    const double size = static_cast<double>(audio_sizes_[a]);
+    if (size <= static_cast<double>(estimated) &&
+        static_cast<double>(estimated) <= (1.0 + k) * size) {
+      return static_cast<int>(a);
+    }
+  }
+  return -1;
+}
+
+Bytes ChunkDatabase::VideoSize(int track, int index) const {
+  return manifest_->video_tracks[static_cast<size_t>(track)]
+      .chunks[static_cast<size_t>(index)]
+      .size;
+}
+
+}  // namespace csi::infer

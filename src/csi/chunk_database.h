@@ -1,0 +1,58 @@
+// Size-indexed chunk database (the fingerprint dictionary).
+//
+// Built from the manifest gathered ahead of the measurement (paper §4.1),
+// this answers the Step 2.1 query: given an estimated size S~ and the error
+// bound k, which chunks satisfy Property (1): S <= S~ <= (1+k)S, i.e.
+// S in [S~/(1+k), S~]?
+
+#ifndef CSI_SRC_CSI_CHUNK_DATABASE_H_
+#define CSI_SRC_CSI_CHUNK_DATABASE_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+
+class ChunkDatabase {
+ public:
+  explicit ChunkDatabase(const media::Manifest* manifest);
+
+  // All video chunks whose true size could have produced estimate
+  // `estimated` under error bound `k`.
+  std::vector<media::ChunkRef> VideoCandidates(Bytes estimated, double k) const;
+
+  // True if some audio chunk size satisfies Property (1) for `estimated`.
+  // Audio tracks are CBR (constant size per track, §5.2).
+  bool AudioPossible(Bytes estimated, double k) const;
+  // The audio track matching `estimated` (first match), or -1.
+  int MatchingAudioTrack(Bytes estimated, double k) const;
+
+  // Constant per-track audio chunk sizes.
+  const std::vector<Bytes>& audio_sizes() const { return audio_sizes_; }
+
+  // Size of video chunk (track, index).
+  Bytes VideoSize(int track, int index) const;
+  int num_video_tracks() const { return num_tracks_; }
+  int num_positions() const { return num_positions_; }
+  // Smallest/largest video chunk size at a playback position.
+  Bytes MinSizeAt(int index) const { return min_at_[static_cast<size_t>(index)]; }
+  Bytes MaxSizeAt(int index) const { return max_at_[static_cast<size_t>(index)]; }
+
+  const media::Manifest* manifest() const { return manifest_; }
+
+ private:
+  const media::Manifest* manifest_;
+  int num_tracks_ = 0;
+  int num_positions_ = 0;
+  // Per track: (size, index) sorted by size, for range queries.
+  std::vector<std::vector<std::pair<Bytes, int>>> by_size_;
+  std::vector<Bytes> audio_sizes_;
+  std::vector<Bytes> min_at_;
+  std::vector<Bytes> max_at_;
+};
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_CHUNK_DATABASE_H_

@@ -1,0 +1,23 @@
+#include "src/csi/displayed_info.h"
+
+namespace csi::infer {
+
+DisplayConstraints SampleDisplayedChunks(const std::vector<player::DisplayRecord>& displays,
+                                         TimeUs session_end, const OcrConfig& config,
+                                         Rng& rng) {
+  DisplayConstraints constraints;
+  for (size_t i = 0; i < displays.size(); ++i) {
+    const TimeUs start = displays[i].start_time;
+    const TimeUs end = i + 1 < displays.size() ? displays[i + 1].start_time : session_end;
+    if (end - start < config.period) {
+      continue;  // displayed too briefly for the periodic OCR to catch
+    }
+    if (config.miss_rate > 0.0 && rng.Chance(config.miss_rate)) {
+      continue;
+    }
+    constraints[displays[i].chunk.index] = displays[i].chunk.track;
+  }
+  return constraints;
+}
+
+}  // namespace csi::infer

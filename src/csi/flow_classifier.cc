@@ -1,0 +1,51 @@
+#include "src/csi/flow_classifier.h"
+
+#include <map>
+
+namespace csi::infer {
+namespace {
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::vector<Flow> SplitFlows(const capture::CaptureTrace& trace) {
+  std::vector<Flow> flows;
+  std::map<capture::FlowKey, size_t> index;
+  for (const auto& record : trace) {
+    const capture::FlowKey key = FlowKeyOf(record);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, flows.size()).first;
+      flows.push_back(Flow{key, {}, {}, 0});
+    }
+    Flow& flow = flows[it->second];
+    if (!record.sni.empty() && flow.sni.empty()) {
+      flow.sni = record.sni;
+    }
+    if (!record.from_client) {
+      flow.downlink_bytes += record.payload;
+    }
+    flow.packets.push_back(record);
+  }
+  return flows;
+}
+
+std::vector<Flow> ClassifyMediaFlows(const capture::CaptureTrace& trace,
+                                     const std::string& host_suffix,
+                                     const std::set<uint32_t>& known_server_ips) {
+  std::vector<Flow> media;
+  for (Flow& flow : SplitFlows(trace)) {
+    const bool sni_match = !flow.sni.empty() && HasSuffix(flow.sni, host_suffix);
+    const bool ip_match =
+        flow.sni.empty() && known_server_ips.count(flow.key.server_ip) > 0;
+    if (sni_match || ip_match) {
+      media.push_back(std::move(flow));
+    }
+  }
+  return media;
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,37 @@
+// Step 1.1: identify video-streaming connections in the capture.
+//
+// Flows are keyed by 5-tuple; a flow belongs to the video service if its
+// ClientHello SNI matches the service's hostname (suffix match, e.g.
+// "googlevideo.com"), or — when SNI is absent — if its server IP is in a
+// known set (the DNS/IP fallback of paper §5.3.1).
+
+#ifndef CSI_SRC_CSI_FLOW_CLASSIFIER_H_
+#define CSI_SRC_CSI_FLOW_CLASSIFIER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/capture/packet_record.h"
+
+namespace csi::infer {
+
+struct Flow {
+  capture::FlowKey key;
+  std::string sni;
+  std::vector<capture::PacketRecord> packets;  // in capture order
+  Bytes downlink_bytes = 0;
+};
+
+// All flows in the capture, in order of first appearance.
+std::vector<Flow> SplitFlows(const capture::CaptureTrace& trace);
+
+// Flows that belong to the video service identified by `host_suffix` (or by
+// server IP when the SNI is missing).
+std::vector<Flow> ClassifyMediaFlows(const capture::CaptureTrace& trace,
+                                     const std::string& host_suffix,
+                                     const std::set<uint32_t>& known_server_ips = {});
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_FLOW_CLASSIFIER_H_

@@ -1,0 +1,576 @@
+#include "src/csi/group_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <queue>
+#include <tuple>
+
+namespace csi::infer {
+namespace {
+
+// Prefix sums of per-position min/max video chunk sizes, for DFS pruning.
+struct SizeBounds {
+  std::vector<Bytes> min_prefix;  // min_prefix[i] = sum of MinSizeAt(0..i-1)
+  std::vector<Bytes> max_prefix;
+
+  explicit SizeBounds(const ChunkDatabase& db) {
+    const int p = db.num_positions();
+    min_prefix.assign(static_cast<size_t>(p) + 1, 0);
+    max_prefix.assign(static_cast<size_t>(p) + 1, 0);
+    for (int i = 0; i < p; ++i) {
+      min_prefix[static_cast<size_t>(i) + 1] =
+          min_prefix[static_cast<size_t>(i)] + db.MinSizeAt(i);
+      max_prefix[static_cast<size_t>(i) + 1] =
+          max_prefix[static_cast<size_t>(i)] + db.MaxSizeAt(i);
+    }
+  }
+  Bytes MinSum(int lo, int hi_exclusive) const {
+    return min_prefix[static_cast<size_t>(hi_exclusive)] - min_prefix[static_cast<size_t>(lo)];
+  }
+  Bytes MaxSum(int lo, int hi_exclusive) const {
+    return max_prefix[static_cast<size_t>(hi_exclusive)] - max_prefix[static_cast<size_t>(lo)];
+  }
+};
+
+}  // namespace
+
+std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
+                                                     const ChunkDatabase& db,
+                                                     const GroupSearchConfig& config,
+                                                     const DisplayConstraints& display,
+                                                     int start_lo, int start_hi,
+                                                     bool* truncated) {
+  std::vector<GroupCandidate> candidates;
+  const int n_req = group.num_requests();
+  if (n_req == 0) {
+    return candidates;
+  }
+  if (n_req > config.max_group_requests) {
+    if (config.enable_wildcards) {
+      GroupCandidate wild;
+      wild.wildcard = true;
+      candidates.push_back(wild);
+    }
+    return candidates;
+  }
+  const Bytes audio_size = db.audio_sizes().empty() ? 0 : db.audio_sizes()[0];
+  const SizeBounds bounds(db);
+  const int positions = db.num_positions();
+  const int tracks = db.num_video_tracks();
+  start_lo = std::max(start_lo, 0);
+  start_hi = std::min(start_hi, positions - 1);
+
+  const int num_others = static_cast<int>(config.other_object_sizes.size());
+  const int num_masks = 1 << std::min(num_others, 8);
+
+  int64_t dfs_nodes = 0;
+  bool capped_flag = false;
+  auto capped = [&]() {
+    if (static_cast<int>(candidates.size()) >= config.max_candidates_per_group ||
+        dfs_nodes > config.max_dfs_nodes) {
+      capped_flag = true;
+      return true;
+    }
+    return false;
+  };
+
+  for (int mask = 0; mask < num_masks && !capped_flag; ++mask) {
+    Bytes other_bytes = 0;
+    int other_count = 0;
+    for (int b = 0; b < num_others; ++b) {
+      if ((mask >> b) & 1) {
+        other_bytes += config.other_object_sizes[static_cast<size_t>(b)];
+        ++other_count;
+      }
+    }
+    if (other_count > n_req) {
+      continue;
+    }
+    const int max_deficit = std::min(config.max_phantom_requests, n_req - other_count);
+    for (int deficit = 0; deficit <= max_deficit && !capped_flag; ++deficit) {
+    const int n_objects = n_req - deficit;
+    for (int v = 0; v + other_count <= n_objects && !capped_flag; ++v) {
+      const int a = n_objects - other_count - v;
+      if (a > 0 && audio_size <= 0) {
+        continue;  // no audio tracks to explain these requests
+      }
+      // Admissible window for the total *true* video bytes (Property (1)).
+      const double estimate = static_cast<double>(group.estimated_total);
+      const Bytes hi = static_cast<Bytes>(estimate) - other_bytes - a * audio_size;
+      const Bytes lo = static_cast<Bytes>(std::ceil(estimate / (1.0 + config.k))) -
+                       other_bytes - a * audio_size;
+      if (hi < 0) {
+        continue;
+      }
+      if (v == 0) {
+        // All requests are audio/other: valid when the window admits zero
+        // video bytes.
+        if (lo <= 0) {
+          GroupCandidate c;
+          c.audio_count = a;
+          c.other_count = other_count;
+          c.implied_total = a * audio_size + other_bytes;
+          candidates.push_back(std::move(c));
+          if (capped()) {
+            break;
+          }
+        }
+        continue;
+      }
+      for (int s = start_lo; s <= start_hi && s + v <= positions && !capped_flag; ++s) {
+        if (bounds.MinSum(s, s + v) > hi || bounds.MaxSum(s, s + v) < lo) {
+          continue;
+        }
+        // DFS over per-position track choices.
+        std::vector<int> chosen(static_cast<size_t>(v), 0);
+        std::function<bool(int, Bytes)> dfs = [&](int depth, Bytes acc) -> bool {
+          ++dfs_nodes;
+          if (depth == v) {
+            if (acc >= lo && acc <= hi) {
+              GroupCandidate c;
+              c.video_start = s;
+              c.tracks = chosen;
+              c.audio_count = a;
+              c.other_count = other_count;
+              c.implied_total = acc + a * audio_size + other_bytes;
+              candidates.push_back(std::move(c));
+              if (capped()) {
+                return false;
+              }
+            }
+            return true;
+          }
+          const int index = s + depth;
+          const Bytes rem_min = bounds.MinSum(index + 1, s + v);
+          const Bytes rem_max = bounds.MaxSum(index + 1, s + v);
+          auto constraint = display.find(index);
+          for (int t = 0; t < tracks; ++t) {
+            if (constraint != display.end() && constraint->second != t) {
+              continue;
+            }
+            const Bytes total = acc + db.VideoSize(t, index);
+            if (total + rem_min > hi || total + rem_max < lo) {
+              continue;
+            }
+            chosen[static_cast<size_t>(depth)] = t;
+            if (!dfs(depth + 1, total)) {
+              return false;
+            }
+          }
+          return true;
+        };
+        if (!dfs(0, 0)) {
+          break;
+        }
+      }
+    }
+    }
+  }
+  if (capped_flag && truncated != nullptr) {
+    *truncated = true;
+  }
+  // Enumeration order decides which sequences the bounded chain search finds
+  // first. Rank by how close the candidate's predicted estimate (under the
+  // calibrated overhead model) is to the observation: the ground-truth
+  // explanation sits almost exactly there, while spurious combinations
+  // scatter across the admissible window.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&group, &config](const GroupCandidate& x, const GroupCandidate& y) {
+                     return CandidateCost(x, group.estimated_total, group.num_requests(),
+                                          config) <
+                            CandidateCost(y, group.estimated_total, group.num_requests(),
+                                          config);
+                   });
+  // Degrade to a wildcard only when the group cannot be explained at all
+  // (oversized, corrupted estimate, or enumeration cut short before finding
+  // anything). A wildcard alongside real candidates would flood the chain
+  // search with low-information sequences.
+  if (candidates.empty() && config.enable_wildcards) {
+    GroupCandidate wild;
+    wild.wildcard = true;
+    candidates.push_back(wild);
+  }
+  return candidates;
+}
+
+double CandidateCost(const GroupCandidate& candidate, Bytes estimated_total,
+                     int group_requests, const GroupSearchConfig& config) {
+  if (candidate.wildcard) {
+    return 1.0 * group_requests;
+  }
+  const int objects = static_cast<int>(candidate.tracks.size()) + candidate.audio_count +
+                      candidate.other_count;
+  const double predicted =
+      static_cast<double>(candidate.implied_total) * (1.0 + config.expected_overhead) +
+      static_cast<double>(objects) * static_cast<double>(config.expected_fixed_overhead);
+  return std::abs(static_cast<double>(estimated_total) - predicted) /
+         std::max(static_cast<double>(estimated_total), 1.0);
+}
+
+namespace {
+
+class GroupSequenceSearcher {
+ public:
+  GroupSequenceSearcher(const std::vector<TrafficGroup>& groups, const ChunkDatabase& db,
+                        const GroupSearchConfig& config, const DisplayConstraints& display)
+      : groups_(groups),
+        db_(db),
+        config_(config),
+        display_(display),
+        positions_(db.num_positions()) {}
+
+  InferenceResult Run() {
+    InferenceResult result;
+    for (const auto& g : groups_) {
+      result.group_sizes.push_back(g.num_requests());
+    }
+    if (groups_.empty()) {
+      return result;
+    }
+    // Beam search over the group layers: the paper frames Step 2.2 as a
+    // shortest-path problem; we weight each candidate by the deviation of its
+    // implied size from the overhead-calibrated estimate and keep the
+    // lowest-cost partial explanations at every layer. Wildcards carry a
+    // large penalty and act as a last resort, so the most plausible complete
+    // sequences surface first in the output.
+    struct PathNode {
+      int g = -1;       // group this node's candidate covers (start)
+      int next_g = 0;   // first uncovered group (g+1, or g+2 for a merge)
+      int lo = 0;
+      int hi = 0;
+      const GroupCandidate* cand = nullptr;
+      bool merged = false;  // candidate explains groups g and g+1 jointly
+      int parent = -1;
+      double cost = 0.0;
+    };
+    std::vector<PathNode> arena;
+    std::vector<int> frontier;
+    {
+      PathNode root;
+      root.lo = 0;
+      root.hi = positions_;
+      arena.push_back(root);
+      frontier.push_back(0);
+    }
+    const int beam_width = std::max(config_.max_sequences * 4, 2048);
+    const int max_expansions_per_node = 768;
+
+    // Because a merge advances two layers at once, frontiers are kept per
+    // "first uncovered group" and processed in order.
+    std::vector<std::vector<int>> frontiers(groups_.size() + 2);
+    frontiers[0] = frontier;
+    for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+      std::vector<std::pair<double, int>> next;
+      auto expand_with = [&](int idx, const std::vector<GroupCandidate>& cands,
+                             const TrafficGroup& group, bool merged, int next_g) {
+        const PathNode parent = arena[static_cast<size_t>(idx)];
+        int expansions = 0;
+        for (const GroupCandidate& c : cands) {
+          if (expansions >= max_expansions_per_node) {
+            truncated_ = true;
+            break;
+          }
+          Transition tr;
+          if (c.wildcard) {
+            tr.feasible = true;
+            tr.lo = parent.lo;
+            tr.hi = std::min(parent.hi + group.num_requests(), positions_);
+          } else if (c.video_start < 0) {
+            tr.feasible = true;
+            tr.lo = parent.lo;
+            tr.hi = parent.hi;
+          } else if (c.video_start >= parent.lo && c.video_start <= parent.hi) {
+            tr.feasible = true;
+            tr.lo = c.video_end() + 1;
+            tr.hi = tr.lo;
+          }
+          if (!tr.feasible) {
+            continue;
+          }
+          const double step_cost =
+              CandidateCost(c, group.estimated_total, group.num_requests(), config_);
+          PathNode node;
+          node.g = g;
+          node.next_g = next_g;
+          node.lo = tr.lo;
+          node.hi = tr.hi;
+          node.cand = &c;
+          node.merged = merged;
+          node.parent = idx;
+          node.cost = parent.cost + step_cost;
+          arena.push_back(node);
+          next.emplace_back(node.cost, static_cast<int>(arena.size()) - 1);
+          ++expansions;
+        }
+      };
+
+      for (int idx : frontiers[static_cast<size_t>(g)]) {
+        const PathNode parent = arena[static_cast<size_t>(idx)];
+        expand_with(idx, CandidatesFor(g, parent.lo, parent.hi),
+                    groups_[static_cast<size_t>(g)], /*merged=*/false, g + 1);
+        // Merge interpretation: a retransmitted request split one object's
+        // traffic into two single-request groups (QUIC phantoms, §2); the
+        // joint group explains both requests with a one-object deficit. The
+        // beam ranks this against the unmerged reading by cost.
+        if (config_.enable_merge_repair && g + 1 < static_cast<int>(groups_.size()) &&
+            groups_[static_cast<size_t>(g)].num_requests() == 1 &&
+            groups_[static_cast<size_t>(g) + 1].num_requests() == 1) {
+          expand_with(idx, MergedCandidatesFor(g, parent.lo, parent.hi),
+                      MergedGroup(g), /*merged=*/true, g + 2);
+        }
+      }
+      std::sort(next.begin(), next.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+      });
+      if (static_cast<int>(next.size()) > beam_width) {
+        next.resize(static_cast<size_t>(beam_width));
+        truncated_ = true;
+      }
+      for (const auto& [cost, idx] : next) {
+        frontiers[static_cast<size_t>(arena[static_cast<size_t>(idx)].next_g)].push_back(idx);
+      }
+    }
+    frontier = frontiers[groups_.size()];
+    // Keep the final frontier sorted by cost.
+    std::sort(frontier.begin(), frontier.end(), [&arena](int a, int b) {
+      return arena[static_cast<size_t>(a)].cost < arena[static_cast<size_t>(b)].cost;
+    });
+
+    // Emit the lowest-cost complete explanations. A sequence is *clean* when
+    // every group is fully explained (no wildcards, no phantom deficits) —
+    // i.e. it satisfies Properties (1) and (2) outright, which is the paper's
+    // notion of a matching sequence. When clean sequences exist, degraded
+    // ones are withheld (they would only pad the output with
+    // low-information interpretations).
+    std::vector<std::vector<SlotAssignment>> clean;
+    std::vector<std::vector<SlotAssignment>> degraded;
+    for (int idx : frontier) {
+      std::vector<SlotAssignment> assignment;
+      int cursor = idx;
+      while (cursor > 0) {
+        const PathNode& node = arena[static_cast<size_t>(cursor)];
+        assignment.push_back(SlotAssignment{node.g, node.cand, node.merged});
+        cursor = node.parent;
+      }
+      std::reverse(assignment.begin(), assignment.end());
+      bool is_clean = true;
+      for (const SlotAssignment& sa : assignment) {
+        const GroupCandidate& c = *sa.cand;
+        const int objects = static_cast<int>(c.tracks.size()) + c.audio_count + c.other_count;
+        int requests = groups_[static_cast<size_t>(sa.g)].num_requests();
+        if (sa.merged) {
+          requests += groups_[static_cast<size_t>(sa.g) + 1].num_requests();
+          // A merge explains two detected requests with one real object: the
+          // expected phantom pattern, counted as clean with deficit 1.
+          if (c.wildcard || objects != requests - 1) {
+            is_clean = false;
+            break;
+          }
+          continue;
+        }
+        if (c.wildcard || objects != requests) {
+          is_clean = false;
+          break;
+        }
+      }
+      (is_clean ? clean : degraded).push_back(std::move(assignment));
+    }
+    auto& chosen = clean.empty() ? degraded : clean;
+    if (static_cast<int>(chosen.size()) > config_.max_sequences) {
+      chosen.resize(static_cast<size_t>(config_.max_sequences));
+      truncated_ = true;
+    }
+    sequences_ = std::move(chosen);
+
+    for (const auto& assignment : sequences_) {
+      result.sequences.push_back(BuildSequence(assignment));
+    }
+    result.truncated = truncated_;
+    return result;
+  }
+
+ private:
+  struct Transition {
+    bool feasible = false;
+    int lo = 0;
+    int hi = 0;
+  };
+
+  struct SlotAssignment {
+    int g = 0;
+    const GroupCandidate* cand = nullptr;
+    bool merged = false;
+  };
+
+  // Two adjacent single-request groups viewed as one (phantom repair).
+  TrafficGroup MergedGroup(int g) const {
+    const TrafficGroup& a = groups_[static_cast<size_t>(g)];
+    const TrafficGroup& b = groups_[static_cast<size_t>(g) + 1];
+    TrafficGroup merged;
+    merged.requests = a.requests;
+    merged.requests.insert(merged.requests.end(), b.requests.begin(), b.requests.end());
+    merged.start_time = a.start_time;
+    merged.end_time = b.end_time;
+    merged.estimated_total = a.estimated_total + b.estimated_total;
+    return merged;
+  }
+
+  const std::vector<GroupCandidate>& MergedCandidatesFor(int g, int lo, int hi) {
+    const auto key = std::make_tuple(g, lo, hi);
+    auto it = merged_cand_cache_.find(key);
+    if (it != merged_cand_cache_.end()) {
+      return it->second;
+    }
+    bool truncated = false;
+    std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
+        MergedGroup(g), db_, config_, display_, lo, hi, &truncated);
+    // Only the one-object-deficit explanations make sense for a merge (two
+    // requests, one real object); drop the rest to keep the beam clean.
+    std::erase_if(cands, [](const GroupCandidate& c) {
+      return c.wildcard ||
+             static_cast<int>(c.tracks.size()) + c.audio_count + c.other_count != 1;
+    });
+    truncated_ = truncated_ || truncated;
+    return merged_cand_cache_.emplace(key, std::move(cands)).first->second;
+  }
+
+  // Lazy, cached per-(group, start-range) candidate enumeration. The range
+  // conditioning is what keeps the per-group search space tractable.
+  const std::vector<GroupCandidate>& CandidatesFor(int g, int lo, int hi) {
+    const auto key = std::make_tuple(g, lo, hi);
+    auto it = cand_cache_.find(key);
+    if (it != cand_cache_.end()) {
+      return it->second;
+    }
+    bool truncated = false;
+    std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
+        groups_[static_cast<size_t>(g)], db_, config_, display_, lo, hi, &truncated);
+    truncated_ = truncated_ || truncated;
+    return cand_cache_.emplace(key, std::move(cands)).first->second;
+  }
+
+  Transition Apply(const GroupCandidate& c, int g, int lo, int hi) const {
+    Transition tr;
+    if (c.wildcard) {
+      tr.feasible = true;
+      tr.lo = lo;
+      tr.hi = std::min(hi + groups_[static_cast<size_t>(g)].num_requests(), positions_);
+      return tr;
+    }
+    if (c.video_start < 0) {
+      tr.feasible = true;
+      tr.lo = lo;
+      tr.hi = hi;
+      return tr;
+    }
+    if (c.video_start < lo || c.video_start > hi) {
+      return tr;
+    }
+    tr.feasible = true;
+    tr.lo = c.video_end() + 1;
+    tr.hi = tr.lo;
+    return tr;
+  }
+
+  bool CanComplete(int g, int lo, int hi) {
+    if (g == static_cast<int>(groups_.size())) {
+      return true;
+    }
+    const auto key = std::make_tuple(g, lo, hi);
+    auto memo = can_memo_.find(key);
+    if (memo != can_memo_.end()) {
+      return memo->second;
+    }
+    can_memo_[key] = false;
+    bool ok = false;
+    const std::vector<GroupCandidate>& cands = CandidatesFor(g, lo, hi);
+    for (const GroupCandidate& c : cands) {
+      const Transition tr = Apply(c, g, lo, hi);
+      if (tr.feasible && CanComplete(g + 1, tr.lo, tr.hi)) {
+        ok = true;
+        break;
+      }
+    }
+    can_memo_[key] = ok;
+    return ok;
+  }
+
+  InferredSequence BuildSequence(const std::vector<SlotAssignment>& assignment) const {
+    InferredSequence seq;
+    // Audio indexes also grow contiguously; anchor them to the video index
+    // progression (the audio pipeline trails the video pipeline by one chunk,
+    // so a group whose video run starts at s carries audio from index s-1).
+    // The anchor re-synchronizes after wildcard groups.
+    int audio_next = -1;
+    for (const SlotAssignment& sa : assignment) {
+      const GroupCandidate& c = *sa.cand;
+      const TrafficGroup group =
+          sa.merged ? MergedGroup(sa.g) : groups_[static_cast<size_t>(sa.g)];
+      if (c.wildcard) {
+        for (int r = 0; r < group.num_requests(); ++r) {
+          InferredSlot slot;
+          slot.kind = SlotKind::kOther;
+          slot.request_time = group.start_time;
+          slot.done_time = group.end_time;
+          seq.slots.push_back(slot);
+        }
+        continue;
+      }
+      for (size_t j = 0; j < c.tracks.size(); ++j) {
+        InferredSlot slot;
+        slot.kind = SlotKind::kVideo;
+        slot.chunk = media::ChunkRef{media::MediaType::kVideo, c.tracks[j],
+                                     c.video_start + static_cast<int>(j)};
+        slot.request_time = group.start_time;
+        slot.done_time = group.end_time;
+        seq.slots.push_back(slot);
+      }
+      if (c.video_start >= 0) {
+        audio_next = std::max(audio_next, std::max(c.video_start - 1, 0));
+      }
+      for (int a = 0; a < c.audio_count; ++a) {
+        InferredSlot slot;
+        slot.kind = SlotKind::kAudio;
+        const int audio_index = std::max(audio_next, 0);
+        slot.chunk = media::ChunkRef{media::MediaType::kAudio, 0, audio_index};
+        audio_next = audio_index + 1;
+        slot.request_time = group.start_time;
+        slot.done_time = group.end_time;
+        seq.slots.push_back(slot);
+      }
+      for (int o = 0; o < c.other_count; ++o) {
+        InferredSlot slot;
+        slot.kind = SlotKind::kOther;
+        slot.request_time = group.start_time;
+        slot.done_time = group.end_time;
+        seq.slots.push_back(slot);
+      }
+    }
+    return seq;
+  }
+
+  const std::vector<TrafficGroup>& groups_;
+  const ChunkDatabase& db_;
+  const GroupSearchConfig& config_;
+  const DisplayConstraints& display_;
+  int positions_ = 0;
+  std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> cand_cache_;
+  std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> merged_cand_cache_;
+  std::map<std::tuple<int, int, int>, bool> can_memo_;
+  std::vector<std::vector<SlotAssignment>> sequences_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+InferenceResult SearchGroupSequences(const std::vector<TrafficGroup>& groups,
+                                     const ChunkDatabase& db, const GroupSearchConfig& config,
+                                     const DisplayConstraints& display) {
+  GroupSequenceSearcher searcher(groups, db, config, display);
+  return searcher.Run();
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,101 @@
+// Step 2 for the transport-MUX design (SQ): per-group bounded exhaustive
+// search plus cross-group sequence chaining (paper §5.3.2, Fig. 9b).
+//
+// After splitting, each traffic group exposes only (request count, total
+// estimated bytes). A *group candidate* explains the group as
+//   a contiguous run of video chunks (start index + a track per position)
+//   + some number of CBR audio chunks
+//   + optionally known non-media objects (e.g. the manifest, fetched once),
+// whose total true size T satisfies T <= T_estimate <= (1+k)T. Candidates are
+// found by depth-first search over per-position track choices with
+// partial-sum pruning against the admissible window.
+//
+// Groups are chained like the layers of the non-MUX graph: the searcher
+// tracks the *range* of possible next video indexes, and candidate
+// enumeration is lazy, conditioned on that range — without the conditioning
+// the per-group candidate space explodes and exhaustive search becomes
+// infeasible. Oversized or unexplainable groups degrade to a *wildcard*
+// (their requests stay unidentified and widen the index range by the request
+// count) instead of breaking the whole chain.
+
+#ifndef CSI_SRC_CSI_GROUP_SEARCH_H_
+#define CSI_SRC_CSI_GROUP_SEARCH_H_
+
+#include <vector>
+
+#include "src/csi/chunk_database.h"
+#include "src/csi/path_search.h"
+#include "src/csi/splitter.h"
+#include "src/csi/types.h"
+
+namespace csi::infer {
+
+struct GroupCandidate {
+  int video_start = -1;     // -1: no video chunks in this group
+  std::vector<int> tracks;  // track per consecutive video index
+  int audio_count = 0;
+  int other_count = 0;      // known non-media objects consumed
+  // Total true bytes this candidate implies (video + audio + other).
+  Bytes implied_total = 0;
+  // Fallback: the group's requests stay unidentified; the next video index
+  // may advance by up to the group's request count.
+  bool wildcard = false;
+
+  int video_end() const {
+    return video_start < 0 ? -1 : video_start + static_cast<int>(tracks.size()) - 1;
+  }
+};
+
+struct GroupSearchConfig {
+  double k = 0.05;  // QUIC size-estimation error bound
+  // Calibrated estimate-inflation model (protocol overhead, §3.2):
+  // estimate ~ true_bytes * (1 + expected_overhead) + objects * fixed
+  // (record/frame framing is proportional; HTTP headers are per object).
+  // Used only to *rank* candidates so the likeliest sequences are enumerated
+  // before the cap, never to reject them.
+  double expected_overhead = 0.006;
+  Bytes expected_fixed_overhead = 230;
+  // Per-(group, start-range) candidate cap.
+  int max_candidates_per_group = 5000;
+  // DFS node budget per (group, start-range) enumeration.
+  int64_t max_dfs_nodes = 2'000'000;
+  // Groups with more requests than this always become wildcards.
+  int max_group_requests = 16;
+  // QUIC request packets may be retransmitted under new packet numbers and
+  // are then double-counted by the request detector; allow explanations with
+  // up to this many fewer objects than detected requests.
+  int max_phantom_requests = 2;
+  int max_sequences = 512;
+  // Sizes of known non-media objects that may appear in a group (manifest,
+  // init segments).
+  std::vector<Bytes> other_object_sizes;
+  // Ablation switches (all on by default; see bench_ablation_robustness):
+  // wildcard fallbacks for unexplainable groups, and the merge transition
+  // that repairs exchanges split by retransmitted QUIC requests.
+  bool enable_wildcards = true;
+  bool enable_merge_repair = true;
+};
+
+// All explanations of one group whose video run starts within
+// [start_lo, start_hi] (video-free explanations are start-agnostic).
+// Sets `*truncated` if a cap was hit.
+std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
+                                                     const ChunkDatabase& db,
+                                                     const GroupSearchConfig& config,
+                                                     const DisplayConstraints& display,
+                                                     int start_lo, int start_hi,
+                                                     bool* truncated);
+
+// Ranking cost: relative deviation of the observed estimate from the
+// candidate's predicted estimate under the calibrated overhead model.
+double CandidateCost(const GroupCandidate& candidate, Bytes estimated_total,
+                     int group_requests, const GroupSearchConfig& config);
+
+// Full SQ inference over the split groups.
+InferenceResult SearchGroupSequences(const std::vector<TrafficGroup>& groups,
+                                     const ChunkDatabase& db, const GroupSearchConfig& config,
+                                     const DisplayConstraints& display = {});
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_GROUP_SEARCH_H_

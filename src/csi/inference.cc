@@ -1,0 +1,160 @@
+#include "src/csi/inference.h"
+
+#include <algorithm>
+
+#include "src/csi/flow_classifier.h"
+#include "src/csi/size_estimator.h"
+
+namespace csi::infer {
+
+std::string DesignTypeName(DesignType type) {
+  switch (type) {
+    case DesignType::kCH:
+      return "CH";
+    case DesignType::kSH:
+      return "SH";
+    case DesignType::kCQ:
+      return "CQ";
+    case DesignType::kSQ:
+      return "SQ";
+  }
+  return "?";
+}
+
+bool IsQuic(DesignType type) {
+  return type == DesignType::kCQ || type == DesignType::kSQ;
+}
+
+bool HasSeparateAudio(DesignType type) {
+  return type == DesignType::kSH || type == DesignType::kSQ;
+}
+
+InferenceEngine::InferenceEngine(const media::Manifest* manifest, InferenceConfig config)
+    : manifest_(manifest), config_(std::move(config)), db_(manifest) {
+  if (config_.host_suffix.empty()) {
+    config_.host_suffix = manifest->host;
+  }
+  if (config_.other_object_sizes.empty()) {
+    // The manifest is fetched once per session; its on-the-wire estimate
+    // includes the response headers.
+    config_.other_object_sizes.push_back(manifest->SerializedSize() +
+                                         config_.expected_fixed_overhead);
+  }
+}
+
+bool InferenceEngine::MatchesSomething(Bytes estimate, double k) const {
+  if (!db_.VideoCandidates(estimate, k).empty() || db_.AudioPossible(estimate, k)) {
+    return true;
+  }
+  for (Bytes other : config_.other_object_sizes) {
+    const double size = static_cast<double>(other);
+    if (size <= static_cast<double>(estimate) &&
+        static_cast<double>(estimate) <= (1.0 + k) * size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void InferenceEngine::MergePhantomSplits(std::vector<EstimatedExchange>* exchanges,
+                                         double k) const {
+  // A retransmitted QUIC request carries a new packet number, so the request
+  // detector sees a phantom request that splits one object's window in two
+  // (paper §2: QUIC retransmissions are not identifiable). Repair: when an
+  // exchange matches nothing but its union with a neighbor matches a chunk,
+  // merge them.
+  bool changed = true;
+  for (int pass = 0; pass < 3 && changed; ++pass) {
+    changed = false;
+    for (size_t i = 0; i + 1 < exchanges->size(); ++i) {
+      EstimatedExchange& a = (*exchanges)[i];
+      const EstimatedExchange& b = (*exchanges)[i + 1];
+      // Phantom signature: the retransmission fires an RTO (~0.2-3 s) into
+      // the download, so the first fragment is the *smaller* piece (it may
+      // still coincidentally match some chunk), while the remainder matches
+      // nothing on its own. A truncated session-end download looks different
+      // (large complete piece first), so it is left alone.
+      if (MatchesSomething(b.estimated_size, k)) {
+        continue;
+      }
+      if (a.estimated_size >= b.estimated_size) {
+        continue;
+      }
+      const Bytes merged = a.estimated_size + b.estimated_size;
+      if (!MatchesSomething(merged, k)) {
+        continue;
+      }
+      a.estimated_size = merged;
+      a.last_data_time = std::max(a.last_data_time, b.last_data_time);
+      exchanges->erase(exchanges->begin() + static_cast<long>(i) + 1);
+      changed = true;
+    }
+  }
+}
+
+InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
+                                         const DisplayConstraints& display) const {
+  std::vector<Flow> flows = ClassifyMediaFlows(trace, config_.host_suffix);
+  if (flows.empty()) {
+    return {};
+  }
+  // The player streams over one connection; if several media flows exist
+  // (e.g. probes), analyze the one carrying the bulk of the download.
+  auto main_flow = std::max_element(
+      flows.begin(), flows.end(),
+      [](const Flow& a, const Flow& b) { return a.downlink_bytes < b.downlink_bytes; });
+
+  const bool quic = IsQuic(config_.design);
+
+  GroupSearchConfig group;
+  group.k = quic ? config_.k_quic : config_.k_https;
+  group.expected_overhead = quic ? config_.expected_overhead_quic
+                                 : config_.expected_overhead_https;
+  group.expected_fixed_overhead = config_.expected_fixed_overhead;
+  group.max_sequences = config_.max_sequences;
+  group.max_candidates_per_group = config_.max_candidates_per_group;
+  group.other_object_sizes = config_.other_object_sizes;
+  group.enable_wildcards = config_.enable_wildcards;
+  group.enable_merge_repair = config_.enable_merge_repair;
+  if (!config_.enable_phantom_deficit) {
+    group.max_phantom_requests = 0;
+  }
+  if (!config_.enable_calibrated_ranking) {
+    group.expected_overhead = 0.0;
+    group.expected_fixed_overhead = 0;
+  }
+
+  // Both cases reduce to the same layered search (Fig. 9): for transport MUX
+  // the layers are SP1/SP2 traffic groups; otherwise every exchange is its
+  // own single-request group.
+  std::vector<TrafficGroup> groups;
+  if (config_.design == DesignType::kSQ) {
+    groups = SplitIntoGroups(main_flow->packets, config_.splitter);
+  } else {
+    std::vector<EstimatedExchange> exchanges;
+    for (const EstimatedExchange& ex : EstimateExchanges(main_flow->packets, quic)) {
+      if (ex.carries_sni) {
+        // Handshake exchange (ClientHello / QUIC Initial): the data in its
+        // window is the server's handshake flight, not a media object.
+        continue;
+      }
+      exchanges.push_back(ex);
+    }
+    if (quic && config_.enable_merge_repair) {
+      MergePhantomSplits(&exchanges, group.k);
+    }
+    for (const EstimatedExchange& ex : exchanges) {
+      TrafficGroup g;
+      DetectedRequest req;
+      req.time = ex.request_time;
+      g.requests.push_back(req);
+      g.start_time = ex.request_time;
+      g.end_time = ex.last_data_time;
+      g.estimated_total = ex.estimated_size;
+      groups.push_back(std::move(g));
+    }
+  }
+  return SearchGroupSequences(groups, db_, group, display);
+}
+
+}  // namespace csi::infer

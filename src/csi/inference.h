@@ -1,0 +1,76 @@
+// CSI inference engine: encrypted capture -> candidate chunk sequences.
+//
+// Orchestrates the full pipeline of paper §5.3 for all four design types
+// (Table 2): flow classification by SNI (Step 1.1), request detection and
+// size estimation (Step 1.2; with SP1/SP2 traffic splitting for SQ), and the
+// two-level candidate/graph search (Step 2). Optionally applies
+// displayed-chunk constraints gathered from screen analysis (§4.2).
+
+#ifndef CSI_SRC_CSI_INFERENCE_H_
+#define CSI_SRC_CSI_INFERENCE_H_
+
+#include <string>
+
+#include "src/capture/packet_record.h"
+#include "src/csi/chunk_database.h"
+#include "src/csi/group_search.h"
+#include "src/csi/path_search.h"
+#include "src/csi/splitter.h"
+#include "src/csi/types.h"
+
+namespace csi::infer {
+
+struct InferenceConfig {
+  DesignType design = DesignType::kCH;
+  // Hostname suffix identifying the service's media flows.
+  std::string host_suffix;
+  double k_https = 0.01;
+  double k_quic = 0.05;
+  // Calibrated overhead model for candidate ranking (§3.2 measurements):
+  // TLS record framing + HTTP headers for HTTPS; QUIC frame headers +
+  // undetectable retransmissions for QUIC.
+  double expected_overhead_https = 0.0015;
+  double expected_overhead_quic = 0.006;
+  Bytes expected_fixed_overhead = 180;
+  int max_sequences = 512;
+  SplitterConfig splitter;
+  int max_candidates_per_group = 5000;
+  // Ablation switches (see bench_ablation_robustness).
+  bool enable_wildcards = true;
+  bool enable_merge_repair = true;
+  bool enable_phantom_deficit = true;
+  bool enable_calibrated_ranking = true;
+  // Sizes of known non-media objects (manifest etc.) for SQ group matching.
+  // Auto-filled with the manifest size when empty.
+  std::vector<Bytes> other_object_sizes;
+};
+
+class InferenceEngine {
+ public:
+  // `manifest` is the chunk-size database collected ahead of the test (§4.1);
+  // caller keeps it alive.
+  InferenceEngine(const media::Manifest* manifest, InferenceConfig config);
+
+  // Runs the inference on a capture. `display` optionally carries
+  // (index -> track) constraints from screen analysis.
+  InferenceResult Analyze(const capture::CaptureTrace& trace,
+                          const DisplayConstraints& display = {}) const;
+
+  const ChunkDatabase& db() const { return db_; }
+  const InferenceConfig& config() const { return config_; }
+
+ private:
+  // True if `estimate` satisfies Property (1) for some video chunk, audio
+  // chunk, or known non-media object.
+  bool MatchesSomething(Bytes estimate, double k) const;
+  // Repairs exchanges split in two by retransmitted QUIC request packets.
+  void MergePhantomSplits(std::vector<EstimatedExchange>* exchanges, double k) const;
+
+  const media::Manifest* manifest_;
+  InferenceConfig config_;
+  ChunkDatabase db_;
+};
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_INFERENCE_H_

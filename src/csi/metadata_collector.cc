@@ -1,0 +1,82 @@
+#include "src/csi/metadata_collector.h"
+
+#include <deque>
+
+#include "src/app/resource.h"
+
+namespace csi::infer {
+
+media::Manifest StripSizes(const media::Manifest& manifest) {
+  media::Manifest skeleton = manifest;
+  for (auto* tracks : {&skeleton.video_tracks, &skeleton.audio_tracks}) {
+    for (media::Track& t : *tracks) {
+      for (media::Chunk& c : t.chunks) {
+        c.size = 0;
+      }
+    }
+  }
+  return skeleton;
+}
+
+media::Manifest CollectChunkSizes(sim::Simulator* sim, http::HttpSession* session,
+                                  const media::Manifest& skeleton, const HeadOracle& oracle,
+                                  CollectorStats* stats) {
+  media::Manifest filled = skeleton;
+  const TimeUs start = sim->Now();
+
+  // Work list of every chunk reference.
+  std::deque<media::ChunkRef> work;
+  for (int t = 0; t < filled.num_video_tracks(); ++t) {
+    for (int i = 0; i < filled.num_positions(); ++i) {
+      work.push_back(media::ChunkRef{media::MediaType::kVideo, t, i});
+    }
+  }
+  for (int t = 0; t < filled.num_audio_tracks(); ++t) {
+    for (int i = 0;
+         i < static_cast<int>(filled.audio_tracks[static_cast<size_t>(t)].chunks.size());
+         ++i) {
+      work.push_back(media::ChunkRef{media::MediaType::kAudio, t, i});
+    }
+  }
+
+  int completed = 0;
+  const int total = static_cast<int>(work.size());
+  int issued = 0;
+
+  // Issue HEAD probes with a small pipeline depth so collection is fast but
+  // does not flood the connection.
+  constexpr int kPipelineDepth = 4;
+  std::function<void()> pump = [&]() {
+    while (issued - completed < kPipelineDepth && !work.empty()) {
+      const media::ChunkRef ref = work.front();
+      work.pop_front();
+      ++issued;
+      const std::string tag = app::Resource::HeadOf(filled.asset_id, ref).ToTag();
+      session->Get(tag, 340, [&, ref, tag](const http::FetchResult&) {
+        // A HEAD response has no body; the advertised Content-Length is
+        // visible to the requester in the response headers.
+        const Bytes advertised = oracle(tag);
+        auto& tracks = ref.type == media::MediaType::kVideo ? filled.video_tracks
+                                                            : filled.audio_tracks;
+        tracks[static_cast<size_t>(ref.track)].chunks[static_cast<size_t>(ref.index)].size =
+            advertised;
+        ++completed;
+        pump();
+      });
+    }
+  };
+  pump();
+  // Drive the simulation until every probe answered (bounded for safety).
+  const TimeUs deadline = sim->Now() + 3600 * kUsPerSec;
+  while (completed < total && sim->Now() < deadline && sim->pending_events() > 0) {
+    sim->Run(1024);
+  }
+
+  if (stats != nullptr) {
+    stats->head_requests = issued;
+    stats->elapsed = sim->Now() - start;
+  }
+  return filled;
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,47 @@
+// Pre-measurement metadata collection (paper §4.1).
+//
+// Before a campaign CSI needs the sizes of all chunks of the test video.
+// Many manifests carry explicit sizes; others only list URLs, in which case
+// CSI issues HTTP HEAD requests and reads each chunk's Content-Length. This
+// module implements that collector against an origin server over a real
+// (simulated) connection: given a size-less manifest skeleton, it fills in
+// every chunk size via HEAD probes and returns the completed chunk-size
+// database input.
+
+#ifndef CSI_SRC_CSI_METADATA_COLLECTOR_H_
+#define CSI_SRC_CSI_METADATA_COLLECTOR_H_
+
+#include <functional>
+
+#include "src/http/http_session.h"
+#include "src/media/manifest.h"
+#include "src/sim/simulator.h"
+
+namespace csi::infer {
+
+// Returns `manifest` with all chunk sizes erased (URL-only manifest) — what a
+// size-less HLS playlist gives the collector to start from.
+media::Manifest StripSizes(const media::Manifest& manifest);
+
+// Answers a HEAD probe: the Content-Length the origin would advertise for
+// the resource tag.
+using HeadOracle = std::function<Bytes(const std::string& tag)>;
+
+struct CollectorStats {
+  int head_requests = 0;
+  TimeUs elapsed = 0;
+};
+
+// Fills in every chunk size of `skeleton` by issuing HEAD requests through
+// `session` (which must already be connected or connecting). Runs the
+// simulator until collection completes. The origin answers via the session's
+// registered handler; `oracle` maps the completed HEAD exchange back to the
+// advertised length (Content-Length travels in response headers, which the
+// *requester* sees even though a passive observer would not).
+media::Manifest CollectChunkSizes(sim::Simulator* sim, http::HttpSession* session,
+                                  const media::Manifest& skeleton, const HeadOracle& oracle,
+                                  CollectorStats* stats = nullptr);
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_METADATA_COLLECTOR_H_

@@ -1,0 +1,55 @@
+// Step 2 for designs without transport MUX: combine per-request candidates
+// into contiguous chunk sequences via a layered-graph path search
+// (paper §5.3.1, Fig. 9a).
+//
+// Layer i holds the video-chunk candidates matching estimate S~_i
+// (Property (1)); an edge joins candidates of two requests when their
+// playback indexes are consecutive (Property (2)) and every request between
+// them can be a non-video exchange (an audio chunk whose CBR size matches, or
+// a non-media exchange — handshake tail, manifest — that matches no chunk at
+// all). Every source-to-sink path is one candidate chunk sequence; the paper
+// finds them with Dijkstra over zero-weight edges, which on this DAG reduces
+// to reachability pruning plus path enumeration (bounded by `max_sequences`).
+
+#ifndef CSI_SRC_CSI_PATH_SEARCH_H_
+#define CSI_SRC_CSI_PATH_SEARCH_H_
+
+#include <map>
+#include <vector>
+
+#include "src/csi/chunk_database.h"
+#include "src/csi/types.h"
+
+namespace csi::infer {
+
+// Optional displayed-chunk information (§4.2): OCR of player overlays yields
+// (playback index -> track) constraints that prune video candidates.
+using DisplayConstraints = std::map<int, int>;
+
+struct PathSearchConfig {
+  double k = 0.01;            // size-estimation error bound
+  int max_sequences = 512;    // enumeration cap (result marked truncated)
+};
+
+// Per-request assignment options derived from the size estimate.
+struct SlotOptions {
+  std::vector<media::ChunkRef> video_candidates;
+  int audio_track = -1;       // >= 0 if an audio chunk size matches
+  bool other_ok = false;      // nothing matches: non-media exchange
+  bool skippable() const { return audio_track >= 0 || other_ok; }
+};
+
+// Builds slot options for each estimated exchange.
+std::vector<SlotOptions> BuildSlotOptions(const std::vector<EstimatedExchange>& exchanges,
+                                          const ChunkDatabase& db, double k,
+                                          const DisplayConstraints& display = {});
+
+// Enumerates all contiguous-index assignments consistent with the options.
+InferenceResult SearchSequences(const std::vector<EstimatedExchange>& exchanges,
+                                const std::vector<SlotOptions>& options,
+                                const ChunkDatabase& db,
+                                const PathSearchConfig& config = {});
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_PATH_SEARCH_H_

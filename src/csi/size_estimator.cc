@@ -1,0 +1,143 @@
+#include "src/csi/size_estimator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace csi::infer {
+namespace {
+
+// Two uplink TCP data packets closer than this are segments of one request
+// message (requests themselves are separated by at least a response RTT).
+constexpr TimeUs kRequestMergeGap = 25 * kUsPerMs;
+
+// First-occurrence flags for downlink data packets of an HTTPS flow
+// (duplicate TCP sequence numbers = retransmissions, removed per §3.2).
+std::vector<bool> FirstOccurrenceDownlink(const std::vector<capture::PacketRecord>& flow) {
+  std::vector<bool> first(flow.size(), false);
+  std::set<uint64_t> seen;
+  for (size_t i = 0; i < flow.size(); ++i) {
+    const auto& p = flow[i];
+    if (p.from_client || p.payload <= 0) {
+      continue;
+    }
+    first[i] = seen.insert(p.tcp_seq).second;
+  }
+  return first;
+}
+
+}  // namespace
+
+std::vector<DetectedRequest> DetectRequests(const std::vector<capture::PacketRecord>& flow,
+                                            bool quic) {
+  std::vector<DetectedRequest> requests;
+  if (quic) {
+    for (const auto& p : flow) {
+      if (p.from_client && p.payload >= kQuicRequestThreshold) {
+        requests.push_back(DetectedRequest{p.timestamp, !p.sni.empty()});
+      }
+    }
+    return requests;
+  }
+  // HTTPS: uplink packets with payload, de-duplicated by sequence number and
+  // merged when contiguous in sequence and near-simultaneous (multi-segment
+  // request messages).
+  std::set<uint64_t> seen;
+  uint64_t last_end_seq = 0;
+  TimeUs last_time = -kUsPerSec;
+  bool last_sni = false;
+  bool have_last = false;
+  for (const auto& p : flow) {
+    if (!p.from_client || p.payload <= 0) {
+      continue;
+    }
+    if (!seen.insert(p.tcp_seq).second) {
+      continue;  // retransmission
+    }
+    const bool contiguous = have_last && p.tcp_seq == last_end_seq;
+    const bool near = p.timestamp - last_time <= kRequestMergeGap;
+    if (contiguous && near) {
+      // Continuation of the previous request message.
+      last_end_seq = p.tcp_seq + static_cast<uint64_t>(p.payload);
+      last_time = p.timestamp;
+      if (!p.sni.empty()) {
+        requests.back().carries_sni = true;
+      }
+      continue;
+    }
+    requests.push_back(DetectedRequest{p.timestamp, !p.sni.empty()});
+    last_end_seq = p.tcp_seq + static_cast<uint64_t>(p.payload);
+    last_time = p.timestamp;
+    last_sni = !p.sni.empty();
+    have_last = true;
+  }
+  (void)last_sni;
+  return requests;
+}
+
+Bytes EstimateDownlinkBytes(const std::vector<capture::PacketRecord>& flow, bool quic,
+                            TimeUs begin, TimeUs end) {
+  Bytes total = 0;
+  if (quic) {
+    for (const auto& p : flow) {
+      if (p.from_client || p.payload <= 0) {
+        continue;
+      }
+      if (p.timestamp <= begin || (end >= 0 && p.timestamp > end)) {
+        continue;
+      }
+      total += std::max<Bytes>(p.payload - net::kQuicHeaderBytes, 0);
+    }
+    return total;
+  }
+  const std::vector<bool> first = FirstOccurrenceDownlink(flow);
+  for (size_t i = 0; i < flow.size(); ++i) {
+    if (!first[i]) {
+      continue;
+    }
+    const auto& p = flow[i];
+    if (p.timestamp <= begin || (end >= 0 && p.timestamp > end)) {
+      continue;
+    }
+    total += p.payload;
+  }
+  return total;
+}
+
+std::vector<EstimatedExchange> EstimateExchanges(const std::vector<capture::PacketRecord>& flow,
+                                                 bool quic) {
+  const std::vector<DetectedRequest> requests = DetectRequests(flow, quic);
+  std::vector<EstimatedExchange> exchanges;
+  exchanges.reserve(requests.size());
+  const std::vector<bool> first =
+      quic ? std::vector<bool>() : FirstOccurrenceDownlink(flow);
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const TimeUs begin = requests[r].time;
+    const TimeUs end = r + 1 < requests.size() ? requests[r + 1].time : -1;
+    EstimatedExchange ex;
+    ex.request_time = begin;
+    ex.last_data_time = begin;
+    ex.carries_sni = requests[r].carries_sni;
+    for (size_t i = 0; i < flow.size(); ++i) {
+      const auto& p = flow[i];
+      if (p.from_client || p.payload <= 0) {
+        continue;
+      }
+      if (p.timestamp <= begin || (end >= 0 && p.timestamp > end)) {
+        continue;
+      }
+      if (quic) {
+        ex.estimated_size += std::max<Bytes>(p.payload - net::kQuicHeaderBytes, 0);
+      } else {
+        if (!first[i]) {
+          continue;
+        }
+        ex.estimated_size += p.payload;
+      }
+      ex.last_data_time = std::max(ex.last_data_time, p.timestamp);
+    }
+    exchanges.push_back(ex);
+  }
+  return exchanges;
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,85 @@
+#include "src/csi/splitter.h"
+
+#include <algorithm>
+
+namespace csi::infer {
+
+std::vector<TrafficGroup> SplitIntoGroups(const std::vector<capture::PacketRecord>& flow,
+                                          const SplitterConfig& config) {
+  std::vector<DetectedRequest> requests = DetectRequests(flow, /*quic=*/true);
+  // The padded Initial (ClientHello) clears the request-size threshold but is
+  // handshake, not HTTP: drop it so the first group starts at the first real
+  // request and the server's handshake flight stays outside every group
+  // window.
+  std::erase_if(requests, [](const DetectedRequest& r) { return r.carries_sni; });
+  std::vector<TrafficGroup> groups;
+  if (requests.empty()) {
+    return groups;
+  }
+
+  // Timestamps of downlink data packets, for idle detection and the SP2
+  // "no data in between" check.
+  std::vector<TimeUs> downlink_times;
+  for (const auto& p : flow) {
+    if (!p.from_client && p.payload > net::kQuicHeaderBytes) {
+      downlink_times.push_back(p.timestamp);
+    }
+  }
+
+  // Any downlink data strictly inside (lo, hi)? Simultaneous request pairs
+  // (lo == hi) therefore always pass: data arriving at the same instant the
+  // requests go out belongs to the downloads that just completed.
+  auto downlink_in = [&downlink_times](TimeUs lo, TimeUs hi) {
+    auto it = std::upper_bound(downlink_times.begin(), downlink_times.end(), lo);
+    return it != downlink_times.end() && *it < hi;
+  };
+  auto last_activity_before = [&](TimeUs t, size_t req_idx) {
+    TimeUs last = -1;
+    auto it = std::lower_bound(downlink_times.begin(), downlink_times.end(), t);
+    if (it != downlink_times.begin()) {
+      last = *std::prev(it);
+    }
+    if (req_idx > 0) {
+      last = std::max(last, requests[req_idx - 1].time);
+    }
+    return last;
+  };
+
+  // A request starts a new group if it follows an OFF gap (SP1) or begins a
+  // simultaneous pair with no downlink data in between (SP2).
+  std::vector<size_t> boundaries;
+  boundaries.push_back(0);
+  for (size_t i = 1; i < requests.size(); ++i) {
+    const TimeUs t = requests[i].time;
+    const TimeUs last = last_activity_before(t, i);
+    const bool sp1 =
+        config.enable_sp1 && last >= 0 && t - last >= config.idle_threshold;
+    const bool sp2 = config.enable_sp2 && i + 1 < requests.size() &&
+                     requests[i + 1].time - t <= config.simultaneity_window &&
+                     !downlink_in(t, requests[i + 1].time);
+    if (sp1 || sp2) {
+      if (boundaries.back() != i) {
+        boundaries.push_back(i);
+      }
+    }
+  }
+
+  for (size_t b = 0; b < boundaries.size(); ++b) {
+    const size_t first = boundaries[b];
+    const size_t next = b + 1 < boundaries.size() ? boundaries[b + 1] : requests.size();
+    TrafficGroup group;
+    group.requests.assign(requests.begin() + static_cast<long>(first),
+                          requests.begin() + static_cast<long>(next));
+    group.start_time = requests[first].time;
+    group.end_time = next < requests.size() ? requests[next].time : -1;
+    group.estimated_total =
+        EstimateDownlinkBytes(flow, /*quic=*/true, group.start_time, group.end_time);
+    if (group.end_time < 0 && !flow.empty()) {
+      group.end_time = flow.back().timestamp;
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace csi::infer

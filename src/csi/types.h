@@ -1,0 +1,68 @@
+// Core types of the CSI inference engine.
+
+#ifndef CSI_SRC_CSI_TYPES_H_
+#define CSI_SRC_CSI_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+
+// The four ABR system design types of paper Table 2: Combined/Separate audio
+// crossed with HTTPS/QUIC. Only SQ multiplexes transport streams.
+enum class DesignType { kCH, kSH, kCQ, kSQ };
+
+std::string DesignTypeName(DesignType type);
+bool IsQuic(DesignType type);
+bool HasSeparateAudio(DesignType type);
+
+// One detected HTTP exchange: a request packet and the estimated size of the
+// response downloaded before the next request (Step 1 output, §3.1).
+struct EstimatedExchange {
+  TimeUs request_time = 0;
+  TimeUs last_data_time = 0;  // timestamp of the final attributed data packet
+  Bytes estimated_size = 0;   // S~_i
+  // The "request" is the ClientHello/Initial (observable via the SNI): a
+  // handshake exchange, not an HTTP request.
+  bool carries_sni = false;
+};
+
+// What a request was inferred to be.
+enum class SlotKind {
+  kVideo,  // a specific video chunk
+  kAudio,  // an audio chunk (CBR; identified by position in audio order)
+  kOther,  // non-media exchange (handshake tail, manifest, telemetry)
+};
+
+// Inference output for one request slot.
+struct InferredSlot {
+  SlotKind kind = SlotKind::kOther;
+  media::ChunkRef chunk;  // valid for kVideo and kAudio
+  TimeUs request_time = 0;
+  TimeUs done_time = 0;
+  Bytes estimated_size = 0;
+};
+
+// One candidate chunk sequence matching the whole session (the paper's
+// algorithm may output several; see Table 4 best/worst columns).
+struct InferredSequence {
+  std::vector<InferredSlot> slots;
+};
+
+// Full inference result.
+struct InferenceResult {
+  std::vector<InferredSequence> sequences;
+  // True if enumeration hit the cap and `sequences` is a subset.
+  bool truncated = false;
+  // Estimated exchanges the sequences are built over (diagnostics).
+  std::vector<EstimatedExchange> exchanges;
+  // SQ only: sizes (request counts) of the traffic groups after splitting.
+  std::vector<int> group_sizes;
+};
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_TYPES_H_

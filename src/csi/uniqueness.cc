@@ -1,0 +1,121 @@
+#include "src/csi/uniqueness.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace csi::infer {
+
+bool SizesSimilar(Bytes a, Bytes b, double k) {
+  const double fa = static_cast<double>(a);
+  const double fb = static_cast<double>(b);
+  return fa <= (1.0 + k) * fb && fb <= (1.0 + k) * fa;
+}
+
+double UniqueSingleChunkFraction(const media::Manifest& manifest, double k) {
+  std::vector<Bytes> sizes;
+  for (const auto& track : manifest.video_tracks) {
+    for (const auto& chunk : track.chunks) {
+      sizes.push_back(chunk.size);
+    }
+  }
+  if (sizes.empty()) {
+    return 0.0;
+  }
+  std::sort(sizes.begin(), sizes.end());
+  // A chunk of size S is unique iff no *other* chunk lies in
+  // [S/(1+k), S*(1+k)]. With the sorted array this is a neighbor check.
+  size_t unique = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const bool left_similar = i > 0 && SizesSimilar(sizes[i - 1], sizes[i], k);
+    const bool right_similar = i + 1 < sizes.size() && SizesSimilar(sizes[i + 1], sizes[i], k);
+    if (!left_similar && !right_similar) {
+      ++unique;
+    }
+  }
+  return static_cast<double>(unique) / static_cast<double>(sizes.size());
+}
+
+namespace {
+
+// sim_count[c][p]: number of tracks t' whose chunk at position p is similar
+// to chunk c (c enumerated as track * positions + index).
+struct SimilarityTable {
+  int positions = 0;
+  int tracks = 0;
+  std::vector<uint8_t> counts;  // (tracks*positions) x positions
+
+  SimilarityTable(const media::Manifest& manifest, double k) {
+    tracks = manifest.num_video_tracks();
+    positions = manifest.num_positions();
+    counts.assign(static_cast<size_t>(tracks) * positions * positions, 0);
+    for (int t = 0; t < tracks; ++t) {
+      for (int i = 0; i < positions; ++i) {
+        const Bytes size = manifest.video_tracks[static_cast<size_t>(t)]
+                               .chunks[static_cast<size_t>(i)]
+                               .size;
+        uint8_t* row = &counts[(static_cast<size_t>(t) * positions + i) *
+                               static_cast<size_t>(positions)];
+        for (int p = 0; p < positions; ++p) {
+          uint8_t c = 0;
+          for (int t2 = 0; t2 < tracks; ++t2) {
+            const Bytes other = manifest.video_tracks[static_cast<size_t>(t2)]
+                                    .chunks[static_cast<size_t>(p)]
+                                    .size;
+            if (SizesSimilar(size, other, k)) {
+              ++c;
+            }
+          }
+          row[p] = c;
+        }
+      }
+    }
+  }
+
+  uint8_t Count(int track, int index, int p) const {
+    return counts[(static_cast<size_t>(track) * positions + index) *
+                      static_cast<size_t>(positions) +
+                  static_cast<size_t>(p)];
+  }
+};
+
+}  // namespace
+
+double UniqueSequenceFraction(const media::Manifest& manifest, int length, double k,
+                              int samples, Rng& rng) {
+  const int tracks = manifest.num_video_tracks();
+  const int positions = manifest.num_positions();
+  if (positions < length || tracks == 0 || samples <= 0) {
+    return 0.0;
+  }
+  const SimilarityTable table(manifest, k);
+
+  int unique = 0;
+  std::vector<int> tau(static_cast<size_t>(length));
+  for (int s = 0; s < samples; ++s) {
+    const int start = static_cast<int>(rng.UniformInt(0, positions - length));
+    for (int j = 0; j < length; ++j) {
+      tau[static_cast<size_t>(j)] = static_cast<int>(rng.UniformInt(0, tracks - 1));
+    }
+    // Count sequences similar to (start, tau): sum over all start offsets of
+    // the product of per-position similar-track counts. The sequence itself
+    // contributes exactly 1 at offset `start`.
+    uint64_t similar_total = 0;
+    for (int s2 = 0; s2 + length <= positions; ++s2) {
+      uint64_t product = 1;
+      for (int j = 0; j < length && product > 0; ++j) {
+        product *= table.Count(tau[static_cast<size_t>(j)], start + j, s2 + j);
+      }
+      similar_total += product;
+      if (similar_total > 1) {
+        break;  // already non-unique
+      }
+    }
+    if (similar_total <= 1) {
+      ++unique;
+    }
+  }
+  return static_cast<double>(unique) / static_cast<double>(samples);
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,34 @@
+// Fingerprint-feasibility analysis (paper §3.3 and §6.1).
+//
+// Quantifies how identifiable chunks are from (error-bounded) size estimates:
+//   * two chunks are *similar* under bound k when each could be the other's
+//     estimate source: S_i <= (1+k) S_j and S_j <= (1+k) S_i;
+//   * a chunk is *unique* if no other chunk in any video track is similar;
+//   * a chunk sequence (contiguous indexes, one track choice per position) is
+//     unique if no other sequence is elementwise similar.
+// Single-chunk uniqueness is computed exactly; sequence uniqueness is an
+// exact test applied to a uniform sample of sequences (the full space is
+// O(P * T^L)), giving an unbiased estimate of the paper's percentages.
+
+#ifndef CSI_SRC_CSI_UNIQUENESS_H_
+#define CSI_SRC_CSI_UNIQUENESS_H_
+
+#include "src/common/rng.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+
+// True if sizes a and b are similar under bound k.
+bool SizesSimilar(Bytes a, Bytes b, double k);
+
+// Exact fraction of video chunks (across all tracks) with no similar peer.
+double UniqueSingleChunkFraction(const media::Manifest& manifest, double k);
+
+// Estimated fraction of unique length-`length` sequences, from `samples`
+// uniformly drawn sequences each tested exactly against the full space.
+double UniqueSequenceFraction(const media::Manifest& manifest, int length, double k,
+                              int samples, Rng& rng);
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_UNIQUENESS_H_

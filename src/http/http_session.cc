@@ -1,0 +1,123 @@
+#include "src/http/http_session.h"
+
+#include <utility>
+
+namespace csi::http {
+
+HttpSession::HttpSession(sim::Simulator* sim, SessionConfig config, net::PacketSink client_out,
+                         net::PacketSink server_out, ServerHandler handler)
+    : sim_(sim), config_(std::move(config)), handler_(std::move(handler)) {
+  if (config_.protocol == Protocol::kHttps) {
+    transport::TcpConfig tcp;
+    tcp.flow_id = config_.flow_id;
+    tcp.client_ip = config_.client_ip;
+    tcp.server_ip = config_.server_ip;
+    tcp.client_port = config_.client_port;
+    tcp.server_port = config_.server_port;
+    tcp.sni = config_.sni;
+    connection_ = std::make_unique<transport::TcpTlsConnection>(
+        sim_, tcp, std::move(client_out), std::move(server_out), MakeCallbacks());
+  } else {
+    transport::QuicConfig quic;
+    quic.flow_id = config_.flow_id;
+    quic.client_ip = config_.client_ip;
+    quic.server_ip = config_.server_ip;
+    quic.client_port = config_.client_port;
+    quic.server_port = config_.server_port;
+    quic.sni = config_.sni;
+    connection_ = std::make_unique<transport::QuicConnection>(
+        sim_, quic, std::move(client_out), std::move(server_out), MakeCallbacks());
+  }
+}
+
+transport::ConnectionCallbacks HttpSession::MakeCallbacks() {
+  transport::ConnectionCallbacks cb;
+  cb.on_ready = [this] {
+    if (on_ready_) {
+      on_ready_();
+    }
+  };
+  cb.on_request = [this](uint64_t exchange_id, Bytes) {
+    // Server side: resolve the tag and respond after the think time. If the
+    // request arrived synchronously (zero-hop test wiring) the client-side
+    // bookkeeping may not be in place yet; retry on the next event round.
+    auto it = pending_.find(exchange_id);
+    if (it == pending_.end()) {
+      sim_->ScheduleAfter(0, [this, exchange_id] {
+        auto retry = pending_.find(exchange_id);
+        if (retry == pending_.end()) {
+          return;
+        }
+        const Bytes body = handler_ ? handler_(retry->second.tag) : 0;
+        retry->second.body_bytes = body;
+        sim_->ScheduleAfter(config_.server_delay, [this, exchange_id, body] {
+          connection_->SendResponse(exchange_id, body);
+        });
+      });
+      return;
+    }
+    const Bytes body = handler_ ? handler_(it->second.tag) : 0;
+    it->second.body_bytes = body;
+    sim_->ScheduleAfter(config_.server_delay, [this, exchange_id, body] {
+      connection_->SendResponse(exchange_id, body);
+    });
+  };
+  cb.on_response = [this](uint64_t exchange_id) {
+    auto it = pending_.find(exchange_id);
+    if (it == pending_.end()) {
+      return;
+    }
+    FetchResult result;
+    result.tag = it->second.tag;
+    result.request_time = it->second.request_time;
+    result.done_time = sim_->Now();
+    result.body_bytes = it->second.body_bytes;
+    DoneCallback done = std::move(it->second.done);
+    pending_.erase(it);
+    if (done) {
+      done(result);
+    }
+  };
+  cb.on_progress = [this](uint64_t exchange_id, Bytes received, Bytes total) {
+    auto it = pending_.find(exchange_id);
+    if (it != pending_.end() && it->second.progress) {
+      it->second.progress(received, total);
+    }
+  };
+  return cb;
+}
+
+void HttpSession::Connect(std::function<void()> on_ready) {
+  on_ready_ = std::move(on_ready);
+  connection_->Connect();
+}
+
+uint64_t HttpSession::Get(std::string tag, Bytes request_bytes, DoneCallback done,
+                          ProgressCallback progress) {
+  const uint64_t exchange_id = connection_->SendRequest(request_bytes);
+  PendingFetch fetch;
+  fetch.tag = std::move(tag);
+  fetch.request_time = sim_->Now();
+  fetch.done = std::move(done);
+  fetch.progress = std::move(progress);
+  pending_.emplace(exchange_id, std::move(fetch));
+  return exchange_id;
+}
+
+void HttpSession::DeliverToClient(const net::Packet& packet) {
+  if (config_.protocol == Protocol::kHttps) {
+    static_cast<transport::TcpTlsConnection*>(connection_.get())->DeliverToClient(packet);
+  } else {
+    static_cast<transport::QuicConnection*>(connection_.get())->DeliverToClient(packet);
+  }
+}
+
+void HttpSession::DeliverToServer(const net::Packet& packet) {
+  if (config_.protocol == Protocol::kHttps) {
+    static_cast<transport::TcpTlsConnection*>(connection_.get())->DeliverToServer(packet);
+  } else {
+    static_cast<transport::QuicConnection*>(connection_.get())->DeliverToServer(packet);
+  }
+}
+
+}  // namespace csi::http

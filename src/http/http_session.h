@@ -1,0 +1,102 @@
+// One HTTP client/server exchange channel over an encrypted transport.
+//
+// `HttpSession` owns a transport connection (HTTPS or QUIC) plus the exchange
+// bookkeeping both ends need: the client issues `Get(tag, ...)` requests
+// (where `tag` stands in for the URL — on a real wire it is encrypted and
+// invisible to observers), the registered server handler maps the tag to a
+// response body size, and completion/progress callbacks fire at the client.
+// Because the simulation is one process, the session also plays the role of
+// the origin server's request dispatcher.
+
+#ifndef CSI_SRC_HTTP_HTTP_SESSION_H_
+#define CSI_SRC_HTTP_HTTP_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/transport/connection.h"
+#include "src/transport/quic_connection.h"
+#include "src/transport/tcp_connection.h"
+
+namespace csi::http {
+
+enum class Protocol { kHttps, kQuic };
+
+struct SessionConfig {
+  Protocol protocol = Protocol::kHttps;
+  uint64_t flow_id = 1;
+  uint32_t client_ip = 0x0A000002;
+  uint32_t server_ip = 0xC0A80001;
+  uint16_t client_port = 50000;
+  uint16_t server_port = 443;
+  std::string sni = "cdn.example";
+  // Server think time before a response starts flowing.
+  TimeUs server_delay = 3 * kUsPerMs;
+};
+
+// Maps a request tag to the response body size.
+using ServerHandler = std::function<Bytes(const std::string& tag)>;
+
+struct FetchResult {
+  std::string tag;
+  TimeUs request_time = 0;
+  TimeUs done_time = 0;
+  Bytes body_bytes = 0;
+};
+
+using DoneCallback = std::function<void(const FetchResult&)>;
+using ProgressCallback = std::function<void(Bytes received, Bytes total)>;
+
+class HttpSession {
+ public:
+  // `client_out` / `server_out` are the packet entry points of the uplink and
+  // downlink network paths.
+  HttpSession(sim::Simulator* sim, SessionConfig config, net::PacketSink client_out,
+              net::PacketSink server_out, ServerHandler handler);
+
+  // Starts the transport handshake; `on_ready` fires when requests can flow.
+  void Connect(std::function<void()> on_ready);
+
+  // Issues a GET. `request_bytes` models the encrypted request size.
+  uint64_t Get(std::string tag, Bytes request_bytes, DoneCallback done,
+               ProgressCallback progress = nullptr);
+
+  // Packet delivery entry points for the network paths.
+  void DeliverToClient(const net::Packet& packet);
+  void DeliverToServer(const net::Packet& packet);
+
+  bool ready() const { return connection_->ready(); }
+  const SessionConfig& config() const { return config_; }
+  // Number of requests issued but not yet completed.
+  int outstanding() const { return static_cast<int>(pending_.size()); }
+
+ private:
+  struct PendingFetch {
+    std::string tag;
+    TimeUs request_time = 0;
+    Bytes body_bytes = 0;
+    DoneCallback done;
+    ProgressCallback progress;
+  };
+
+  transport::ConnectionCallbacks MakeCallbacks();
+
+  sim::Simulator* sim_;
+  SessionConfig config_;
+  ServerHandler handler_;
+  std::function<void()> on_ready_;
+  std::unique_ptr<transport::Connection> connection_;
+  // The transport owns exchange ids; we key our state on them.
+  std::map<uint64_t, PendingFetch> pending_;
+  std::map<uint64_t, std::string> tags_in_flight_;  // exchange -> tag (server side)
+};
+
+}  // namespace csi::http
+
+#endif  // CSI_SRC_HTTP_HTTP_SESSION_H_

@@ -1,0 +1,267 @@
+#include "src/media/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/stats.h"
+
+namespace csi::media {
+namespace {
+
+// p95/mean of complexity^gamma with the maxrate cap applied (after
+// normalizing the transformed values to mean 1).
+double PasrOf(const std::vector<double>& complexity, double gamma, double maxrate_factor) {
+  std::vector<double> v;
+  v.reserve(complexity.size());
+  double sum = 0.0;
+  for (double c : complexity) {
+    const double t = std::pow(c, gamma);
+    v.push_back(t);
+    sum += t;
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  double capped_sum = 0.0;
+  for (double& t : v) {
+    t = std::min(t / mean, maxrate_factor);
+    capped_sum += t;
+  }
+  const double capped_mean = capped_sum / static_cast<double>(v.size());
+  if (capped_mean <= 0.0) {
+    return 1.0;
+  }
+  return Percentile(v, 95.0) / capped_mean;
+}
+
+// p95/mean of the final chunk-size model: nominal * capped(c^gamma) + addend
+// (the addend models muxed audio + container overhead, which compresses the
+// achievable ratio on low-bitrate tracks).
+double TrackPasr(const std::vector<double>& complexity, double gamma, double maxrate_factor,
+                 double minrate_factor, double nominal_bytes, double addend_bytes) {
+  std::vector<double> v;
+  v.reserve(complexity.size());
+  double sum = 0.0;
+  for (double c : complexity) {
+    const double t = std::pow(c, gamma);
+    v.push_back(t);
+    sum += t;
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  double size_sum = 0.0;
+  for (double& t : v) {
+    t = nominal_bytes * std::clamp(t / mean, minrate_factor, maxrate_factor) + addend_bytes;
+    size_sum += t;
+  }
+  const double size_mean = size_sum / static_cast<double>(v.size());
+  if (size_mean <= 0.0) {
+    return 1.0;
+  }
+  return Percentile(v, 95.0) / size_mean;
+}
+
+// Scan-then-bisect for the exponent that makes TrackPasr hit the target; the
+// curve rises, peaks, and collapses, so plain bisection is unsound.
+double SolveTrackGamma(const std::vector<double>& complexity, double target_pasr,
+                       double maxrate_factor, double minrate_factor, double nominal_bytes,
+                       double addend_bytes) {
+  if (complexity.size() < 2 || target_pasr <= 1.0) {
+    return 0.0;
+  }
+  constexpr double kStep = 0.1;
+  constexpr double kMaxGamma = 12.0;
+  double best_gamma = 0.0;
+  double best_pasr = 1.0;
+  double bracket_lo = -1.0;
+  double bracket_hi = -1.0;
+  double prev = 0.0;
+  for (double gamma = kStep; gamma <= kMaxGamma; gamma += kStep) {
+    const double pasr = TrackPasr(complexity, gamma, maxrate_factor, minrate_factor,
+                                  nominal_bytes, addend_bytes);
+    if (pasr > best_pasr) {
+      best_pasr = pasr;
+      best_gamma = gamma;
+    }
+    if (pasr >= target_pasr) {
+      bracket_lo = prev;
+      bracket_hi = gamma;
+      break;
+    }
+    prev = gamma;
+  }
+  if (bracket_hi < 0.0) {
+    return best_gamma;  // target unreachable (addend/cap bound it)
+  }
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (bracket_lo + bracket_hi);
+    if (TrackPasr(complexity, mid, maxrate_factor, minrate_factor, nominal_bytes,
+                  addend_bytes) < target_pasr) {
+      bracket_lo = mid;
+    } else {
+      bracket_hi = mid;
+    }
+  }
+  return 0.5 * (bracket_lo + bracket_hi);
+}
+
+}  // namespace
+
+double SolvePasrExponent(const std::vector<double>& complexity, double target_pasr,
+                         double maxrate_factor) {
+  if (complexity.size() < 2 || target_pasr <= 1.0) {
+    return 0.0;
+  }
+  // PASR rises with gamma, peaks, then collapses (extreme exponents
+  // concentrate all mass in a few spikes), so plain bisection is unsound.
+  // Scan for the first crossing of the target, then bisect the bracket; if
+  // the target is unreachable, use the gamma that maximizes PASR.
+  constexpr double kStep = 0.1;
+  constexpr double kMaxGamma = 12.0;
+  double best_gamma = 0.0;
+  double best_pasr = 1.0;
+  double bracket_lo = -1.0;
+  double bracket_hi = -1.0;
+  double prev = 0.0;
+  for (double gamma = kStep; gamma <= kMaxGamma; gamma += kStep) {
+    const double pasr = PasrOf(complexity, gamma, maxrate_factor);
+    if (pasr > best_pasr) {
+      best_pasr = pasr;
+      best_gamma = gamma;
+    }
+    if (pasr >= target_pasr) {
+      bracket_lo = prev;
+      bracket_hi = gamma;
+      break;
+    }
+    prev = gamma;
+  }
+  if (bracket_hi < 0.0) {
+    return best_gamma;  // target unreachable with this complexity draw
+  }
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (bracket_lo + bracket_hi);
+    if (PasrOf(complexity, mid, maxrate_factor) < target_pasr) {
+      bracket_lo = mid;
+    } else {
+      bracket_hi = mid;
+    }
+  }
+  return 0.5 * (bracket_lo + bracket_hi);
+}
+
+Manifest EncodeAsset(const std::string& asset_id, const std::string& host,
+                     TimeUs total_duration, const EncoderConfig& config, Rng& rng) {
+  Manifest m;
+  m.asset_id = asset_id;
+  m.host = host;
+
+  // Chunk durations: fixed, or per-shot variable for shot-based encoding.
+  std::vector<TimeUs> durations;
+  if (config.shot_based) {
+    TimeUs remaining = total_duration;
+    while (remaining > 0) {
+      const double mult = rng.LogNormal(0.0, config.shot_duration_sigma);
+      TimeUs d = static_cast<TimeUs>(static_cast<double>(config.chunk_duration) * mult);
+      d = std::clamp<TimeUs>(d, config.chunk_duration / 3, config.chunk_duration * 3);
+      d = std::min(d, remaining);
+      durations.push_back(d);
+      remaining -= d;
+    }
+  } else {
+    const int count =
+        static_cast<int>((total_duration + config.chunk_duration - 1) / config.chunk_duration);
+    durations.assign(static_cast<size_t>(std::max(count, 1)), config.chunk_duration);
+  }
+  const int positions = static_cast<int>(durations.size());
+
+  // Shared scene complexity; each track solves its own shaping exponent so
+  // that the *final* chunk sizes — including muxed audio and container
+  // overhead, which compress the ratio on low-bitrate tracks — hit the
+  // target PASR.
+  const ComplexityTrace scenes = GenerateScenes(positions, config.scene, rng);
+  const std::vector<double>& base_complexity = scenes.complexity;
+  const bool separate_audio = !config.audio_bitrates.empty();
+  const double mean_dur_sec = UsToSeconds(config.chunk_duration);
+  for (const LadderRung& rung : config.ladder) {
+    Track t;
+    t.name = rung.name;
+    t.type = MediaType::kVideo;
+    t.nominal_bitrate = rung.bitrate;
+    t.chunks.reserve(static_cast<size_t>(positions));
+    const double nominal_mean_bytes = rung.bitrate * mean_dur_sec / 8.0;
+    double addend = static_cast<double>(config.per_chunk_overhead);
+    if (!separate_audio) {
+      addend += config.muxed_audio_bitrate * mean_dur_sec / 8.0;
+    }
+    const double gamma =
+        SolveTrackGamma(base_complexity, config.target_pasr, config.maxrate_factor,
+                        config.minrate_factor, nominal_mean_bytes, addend);
+    // Normalize the shaped complexity to mean 1.
+    std::vector<double> mult(base_complexity.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < base_complexity.size(); ++i) {
+      mult[i] = std::pow(base_complexity[i], gamma);
+      sum += mult[i];
+    }
+    const double mean = sum / static_cast<double>(positions);
+    // Track-specific deviation is content-driven: one multiplier per scene,
+    // so a revisited scene encodes to a near-identical size in this track.
+    std::map<int, double> scene_track_noise;
+    for (int i = 0; i < positions; ++i) {
+      const double dur_sec = UsToSeconds(durations[static_cast<size_t>(i)]);
+      const double nominal_bytes = rung.bitrate * dur_sec / 8.0;
+      double m_i = mult[static_cast<size_t>(i)] / mean;
+      if (config.per_track_sigma > 0.0) {
+        auto [it, inserted] = scene_track_noise.try_emplace(
+            scenes.scene_ids[static_cast<size_t>(i)], 0.0);
+        if (inserted) {
+          it->second = rng.LogNormal(0.0, config.per_track_sigma);
+        }
+        m_i *= it->second;
+      }
+      if (config.size_quantum_log > 0.0) {
+        // Snap to the discrete rate-control grid (integer quantizer steps).
+        const double q = config.size_quantum_log;
+        m_i = std::exp(std::round(std::log(m_i) / q) * q);
+        if (config.quantum_jitter_sigma > 0.0) {
+          m_i *= rng.LogNormal(0.0, config.quantum_jitter_sigma);
+        }
+      }
+      // The VBV cap and quality floor are hard limits; chunks pinned at the
+      // cap become exact size-twins, as real `-maxrate` encodes show.
+      m_i = std::clamp(m_i, config.minrate_factor, config.maxrate_factor);
+      double size = nominal_bytes * m_i;
+      if (!separate_audio) {
+        size += config.muxed_audio_bitrate * dur_sec / 8.0;
+      }
+      Chunk c;
+      c.size = std::max<Bytes>(static_cast<Bytes>(size) + config.per_chunk_overhead, 64);
+      c.duration = durations[static_cast<size_t>(i)];
+      t.chunks.push_back(c);
+    }
+    m.video_tracks.push_back(std::move(t));
+  }
+
+  if (separate_audio) {
+    int k = 0;
+    for (BitsPerSec rate : config.audio_bitrates) {
+      Track t;
+      t.name = "audio-" + std::to_string(static_cast<int64_t>(rate / kKbps)) + "k";
+      t.type = MediaType::kAudio;
+      t.nominal_bitrate = rate;
+      // CBR audio: constant chunk size at the nominal chunk duration (§5.2).
+      const Bytes audio_size =
+          static_cast<Bytes>(rate * UsToSeconds(config.chunk_duration) / 8.0) +
+          config.per_chunk_overhead;
+      t.chunks.reserve(static_cast<size_t>(positions));
+      for (int i = 0; i < positions; ++i) {
+        t.chunks.push_back(Chunk{audio_size, durations[static_cast<size_t>(i)]});
+      }
+      m.audio_tracks.push_back(std::move(t));
+      ++k;
+    }
+    (void)k;
+  }
+  return m;
+}
+
+}  // namespace csi::media

@@ -1,0 +1,72 @@
+// Synthetic VBR/CBR encoder.
+//
+// Stands in for the paper's FFmpeg three-pass encodings (§3.3): it produces a
+// `Manifest` whose per-track chunk-size statistics hit a requested PASR
+// (peak-to-average size ratio, p95/mean) by shaping a shared scene-complexity
+// sequence. Chunks at the same playback position are correlated across tracks
+// (as in real VBR ladders, Fig. 4), the `-maxrate`-style cap bounds peak
+// sizes, and audio tracks are CBR with constant chunk sizes (§5.2).
+
+#ifndef CSI_SRC_MEDIA_ENCODER_H_
+#define CSI_SRC_MEDIA_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/media/ladder.h"
+#include "src/media/manifest.h"
+#include "src/media/scene_model.h"
+
+namespace csi::media {
+
+struct EncoderConfig {
+  Ladder ladder = DefaultVideoLadder();
+  // Nominal chunk duration (5 s in the paper's encodings).
+  TimeUs chunk_duration = 5 * kUsPerSec;
+  // Target per-track PASR; 1.0 selects CBR-like encoding.
+  double target_pasr = 1.5;
+  // Log-space sigma of track-specific deviation from the shared complexity.
+  double per_track_sigma = 0.06;
+  // `-maxrate` analogue: chunk size is capped at maxrate_factor * nominal.
+  // The cap binds for peak scenes, clustering the upper size tail (real
+  // three-pass encodes do the same — the source of the paper's Q1 finding
+  // that single chunks are almost never unique).
+  double maxrate_factor = 3.0;
+  // Encoder quality floor: chunks never drop below minrate_factor * nominal.
+  double minrate_factor = 0.3;
+  // Scene process parameters.
+  SceneModelConfig scene;
+  // Shot-based encoding (Netflix-style): chunk durations vary per shot,
+  // adding duration-driven size variability (§6.1).
+  bool shot_based = false;
+  double shot_duration_sigma = 0.30;
+  // Rate-control quantization: encoders pick from discrete quantizer steps,
+  // so chunk sizes snap to a log-spaced grid (~4% apart) with small residual
+  // jitter. This is what makes nearly every chunk have a size-twin somewhere
+  // in the asset (paper §3.3 Q1) while chunk *runs* remain distinctive.
+  double size_quantum_log = 0.035;
+  double quantum_jitter_sigma = 0.002;
+  // Container/mux overhead added to every chunk.
+  Bytes per_chunk_overhead = 350;
+  // Audio: if non-empty, separate CBR audio tracks at these bitrates
+  // (S* designs). If empty, audio is muxed into the video chunks at
+  // `muxed_audio_bitrate` (C* designs).
+  std::vector<BitsPerSec> audio_bitrates;
+  BitsPerSec muxed_audio_bitrate = 128 * kKbps;
+};
+
+// Encodes an asset of the given playback duration. Deterministic given `rng`
+// state.
+Manifest EncodeAsset(const std::string& asset_id, const std::string& host,
+                     TimeUs total_duration, const EncoderConfig& config, Rng& rng);
+
+// Exposed for tests: returns the exponent applied to the complexity sequence
+// so that p95/mean of the transformed values reaches `target_pasr`.
+double SolvePasrExponent(const std::vector<double>& complexity, double target_pasr,
+                         double maxrate_factor);
+
+}  // namespace csi::media
+
+#endif  // CSI_SRC_MEDIA_ENCODER_H_

@@ -1,0 +1,31 @@
+// Encoding ladders: the set of (resolution, bitrate) rungs a service encodes
+// each asset into. Defaults follow the per-title-style six-rung ladder the
+// paper uses for its Big Buck Bunny encodings (144p..1080p, per [15]).
+
+#ifndef CSI_SRC_MEDIA_LADDER_H_
+#define CSI_SRC_MEDIA_LADDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace csi::media {
+
+struct LadderRung {
+  std::string name;        // e.g. "480p"
+  BitsPerSec bitrate = 0;  // nominal video bitrate
+};
+
+using Ladder = std::vector<LadderRung>;
+
+// Six-rung 144p-1080p ladder used for the Fig. 4/5 style encodings.
+Ladder DefaultVideoLadder();
+
+// Ladder with `count` rungs geometrically spaced between `lowest` and
+// `highest` bits/sec.
+Ladder GeometricLadder(int count, BitsPerSec lowest, BitsPerSec highest);
+
+}  // namespace csi::media
+
+#endif  // CSI_SRC_MEDIA_LADDER_H_

@@ -1,0 +1,123 @@
+#include "src/media/manifest.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/stats.h"
+
+namespace csi::media {
+
+TimeUs Track::TotalDuration() const {
+  TimeUs total = 0;
+  for (const Chunk& c : chunks) {
+    total += c.duration;
+  }
+  return total;
+}
+
+Bytes Track::TotalBytes() const {
+  Bytes total = 0;
+  for (const Chunk& c : chunks) {
+    total += c.size;
+  }
+  return total;
+}
+
+double Track::MeanChunkSize() const {
+  if (chunks.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(TotalBytes()) / static_cast<double>(chunks.size());
+}
+
+double Track::Pasr() const {
+  if (chunks.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sizes;
+  sizes.reserve(chunks.size());
+  for (const Chunk& c : chunks) {
+    sizes.push_back(static_cast<double>(c.size));
+  }
+  const double mean = Mean(sizes);
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  return Percentile(std::move(sizes), 95.0) / mean;
+}
+
+TimeUs Manifest::TotalDuration() const {
+  return video_tracks.empty() ? 0 : video_tracks[0].TotalDuration();
+}
+
+const Track& Manifest::TrackOf(const ChunkRef& ref) const {
+  const auto& tracks = ref.type == MediaType::kVideo ? video_tracks : audio_tracks;
+  return tracks.at(static_cast<size_t>(ref.track));
+}
+
+const Chunk& Manifest::ChunkOf(const ChunkRef& ref) const {
+  return TrackOf(ref).chunks.at(static_cast<size_t>(ref.index));
+}
+
+std::string Manifest::Serialize() const {
+  std::ostringstream out;
+  out << "#CSI-MANIFEST v1\n";
+  out << "asset " << asset_id << "\n";
+  out << "host " << host << "\n";
+  auto emit = [&out](const Track& t, const char* kind) {
+    out << kind << " " << t.name << " " << static_cast<int64_t>(t.nominal_bitrate) << "\n";
+    for (const Chunk& c : t.chunks) {
+      out << "chunk " << c.size << " " << c.duration << "\n";
+    }
+  };
+  for (const Track& t : video_tracks) {
+    emit(t, "video-track");
+  }
+  for (const Track& t : audio_tracks) {
+    emit(t, "audio-track");
+  }
+  return out.str();
+}
+
+Manifest Manifest::Parse(const std::string& text) {
+  Manifest m;
+  std::istringstream in(text);
+  std::string line;
+  Track* current = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "asset") {
+      ls >> m.asset_id;
+    } else if (tag == "host") {
+      ls >> m.host;
+    } else if (tag == "video-track" || tag == "audio-track") {
+      Track t;
+      int64_t bitrate = 0;
+      ls >> t.name >> bitrate;
+      t.nominal_bitrate = static_cast<BitsPerSec>(bitrate);
+      t.type = tag == "video-track" ? MediaType::kVideo : MediaType::kAudio;
+      auto& list = t.type == MediaType::kVideo ? m.video_tracks : m.audio_tracks;
+      list.push_back(std::move(t));
+      current = &list.back();
+    } else if (tag == "chunk") {
+      if (current == nullptr) {
+        throw std::runtime_error("manifest: chunk before track");
+      }
+      Chunk c;
+      ls >> c.size >> c.duration;
+      current->chunks.push_back(c);
+    } else {
+      throw std::runtime_error("manifest: unknown tag '" + tag + "'");
+    }
+  }
+  return m;
+}
+
+Bytes Manifest::SerializedSize() const { return static_cast<Bytes>(Serialize().size()); }
+
+}  // namespace csi::media

@@ -1,0 +1,52 @@
+#include "src/media/scene_model.h"
+
+#include <cmath>
+
+namespace csi::media {
+
+ComplexityTrace GenerateScenes(int count, const SceneModelConfig& config, Rng& rng) {
+  ComplexityTrace trace;
+  trace.complexity.reserve(static_cast<size_t>(count));
+  trace.scene_ids.reserve(static_cast<size_t>(count));
+  std::vector<double> past_scenes;
+  double scene_log = rng.Normal(0.0, config.scene_sigma);
+  past_scenes.push_back(scene_log);
+  int scene_id = 0;
+  double noise = 0.0;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0 && rng.Chance(config.scene_change_prob)) {
+      if (rng.Chance(config.scene_repeat_prob)) {
+        // Revisit an earlier setting: its chunks get near-twin sizes.
+        scene_id = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(past_scenes.size()) - 1));
+        scene_log = past_scenes[static_cast<size_t>(scene_id)];
+      } else {
+        scene_log = rng.Normal(0.0, config.scene_sigma);
+        past_scenes.push_back(scene_log);
+        scene_id = static_cast<int>(past_scenes.size()) - 1;
+      }
+      noise = 0.0;
+    }
+    noise = config.chunk_ar * noise + rng.Normal(0.0, config.chunk_sigma);
+    trace.complexity.push_back(std::exp(scene_log + noise));
+    trace.scene_ids.push_back(scene_id);
+  }
+  // Normalize to mean 1 so nominal bitrates stay meaningful.
+  double sum = 0.0;
+  for (double c : trace.complexity) {
+    sum += c;
+  }
+  const double mean = sum / static_cast<double>(count > 0 ? count : 1);
+  if (mean > 0.0) {
+    for (double& c : trace.complexity) {
+      c /= mean;
+    }
+  }
+  return trace;
+}
+
+std::vector<double> GenerateComplexity(int count, const SceneModelConfig& config, Rng& rng) {
+  return GenerateScenes(count, config, rng).complexity;
+}
+
+}  // namespace csi::media

@@ -1,0 +1,49 @@
+// Scene-complexity model feeding the VBR encoder.
+//
+// Real VBR encoders allocate more bits to complex scenes; the result is that
+// chunk sizes within a track track the content's scene structure and chunks
+// at the same playback position are large (or small) across *all* tracks
+// simultaneously (visible in the paper's Fig. 4). We model per-chunk
+// complexity as a piecewise process: scenes arrive with geometric lengths,
+// each scene has a log-normal base complexity, and chunks within a scene
+// wander around it with small AR(1) noise.
+
+#ifndef CSI_SRC_MEDIA_SCENE_MODEL_H_
+#define CSI_SRC_MEDIA_SCENE_MODEL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace csi::media {
+
+struct SceneModelConfig {
+  // Probability a new scene starts at each chunk boundary.
+  double scene_change_prob = 0.15;
+  // Log-space standard deviation of scene base complexity.
+  double scene_sigma = 0.6;
+  // Log-space standard deviation of within-scene chunk noise.
+  double chunk_sigma = 0.18;
+  // AR(1) coefficient of within-scene noise.
+  double chunk_ar = 0.0;
+  // Probability a new scene reuses an earlier scene's base complexity
+  // (videos revisit settings/shots, which is why nearly every chunk has a
+  // size-twin somewhere in the asset — paper §3.3 Q1).
+  double scene_repeat_prob = 0.10;
+};
+
+// Per-chunk complexity plus the id of the scene each chunk belongs to
+// (repeated scenes share an id — their chunks are size-twins).
+struct ComplexityTrace {
+  std::vector<double> complexity;  // positive, mean ~1
+  std::vector<int> scene_ids;
+};
+
+ComplexityTrace GenerateScenes(int count, const SceneModelConfig& config, Rng& rng);
+
+// Returns `count` positive complexity multipliers with mean ~1.
+std::vector<double> GenerateComplexity(int count, const SceneModelConfig& config, Rng& rng);
+
+}  // namespace csi::media
+
+#endif  // CSI_SRC_MEDIA_SCENE_MODEL_H_

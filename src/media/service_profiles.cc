@@ -1,0 +1,121 @@
+#include "src/media/service_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csi::media {
+
+std::vector<ServiceProfile> Table3Services() {
+  std::vector<ServiceProfile> services;
+
+  ServiceProfile amazon;
+  amazon.name = "Amazon";
+  amazon.corpus_size = 111;
+  amazon.pasr_median = 1.35;
+  amazon.pasr_p95 = 1.47;
+  amazon.chunk_duration = 6 * kUsPerSec;
+  amazon.separate_audio = true;
+  services.push_back(amazon);
+
+  ServiceProfile facebook;
+  facebook.name = "Facebook";
+  facebook.corpus_size = 144;
+  facebook.pasr_median = 1.73;
+  facebook.pasr_p95 = 2.19;
+  facebook.chunk_duration = 4 * kUsPerSec;
+  facebook.min_tracks = 4;
+  facebook.max_tracks = 6;
+  facebook.separate_audio = true;
+  facebook.min_duration = 1 * 60 * kUsPerSec;
+  facebook.max_duration = 10 * 60 * kUsPerSec;
+  services.push_back(facebook);
+
+  ServiceProfile hbo;
+  hbo.name = "HBO Now";
+  hbo.corpus_size = 30;
+  hbo.pasr_median = 1.57;
+  hbo.pasr_p95 = 1.58;
+  hbo.chunk_duration = 6 * kUsPerSec;
+  hbo.separate_audio = true;
+  hbo.min_duration = 20 * 60 * kUsPerSec;
+  hbo.max_duration = 60 * 60 * kUsPerSec;
+  services.push_back(hbo);
+
+  ServiceProfile hulu;
+  hulu.name = "Hulu";
+  hulu.corpus_size = 30;
+  hulu.pasr_median = 1.35;
+  hulu.pasr_p95 = 1.44;
+  hulu.chunk_duration = 5 * kUsPerSec;
+  hulu.min_tracks = 7;
+  hulu.max_tracks = 7;
+  hulu.separate_audio = true;
+  hulu.min_duration = 20 * 60 * kUsPerSec;
+  hulu.max_duration = 45 * 60 * kUsPerSec;
+  services.push_back(hulu);
+
+  ServiceProfile vudu;
+  vudu.name = "Vudu";
+  vudu.corpus_size = 46;
+  vudu.pasr_median = 1.52;
+  vudu.pasr_p95 = 1.58;
+  vudu.chunk_duration = 6 * kUsPerSec;
+  vudu.separate_audio = true;
+  vudu.min_duration = 80 * 60 * kUsPerSec;
+  vudu.max_duration = 120 * 60 * kUsPerSec;
+  services.push_back(vudu);
+
+  ServiceProfile youtube;
+  youtube.name = "Youtube";
+  youtube.corpus_size = 1920;
+  youtube.pasr_median = 1.94;
+  youtube.pasr_p95 = 2.13;
+  youtube.chunk_duration = 5 * kUsPerSec;
+  youtube.min_tracks = 5;
+  youtube.max_tracks = 6;
+  youtube.separate_audio = true;
+  // Newer shot-based-style encodes contribute extra duration-driven size
+  // variability (§6.1 factor (2)).
+  youtube.shot_based_fraction = 0.25;
+  youtube.min_duration = 2 * 60 * kUsPerSec;
+  youtube.max_duration = 15 * 60 * kUsPerSec;
+  services.push_back(youtube);
+
+  return services;
+}
+
+double SamplePasr(const ServiceProfile& profile, Rng& rng) {
+  // Model PASR - 1 as log-normal: the median pins mu, the p95 pins sigma.
+  const double med = std::max(profile.pasr_median - 1.0, 0.01);
+  const double p95 = std::max(profile.pasr_p95 - 1.0, med * 1.001);
+  const double mu = std::log(med);
+  const double sigma = (std::log(p95) - mu) / 1.645;
+  const double pasr = 1.0 + rng.LogNormal(mu, sigma);
+  return std::clamp(pasr, 1.02, 4.0);
+}
+
+std::vector<Manifest> GenerateCorpus(const ServiceProfile& profile, int count, Rng& rng) {
+  if (count <= 0) {
+    count = profile.corpus_size;
+  }
+  std::vector<Manifest> corpus;
+  corpus.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    EncoderConfig config;
+    const int tracks =
+        static_cast<int>(rng.UniformInt(profile.min_tracks, profile.max_tracks));
+    config.ladder = GeometricLadder(tracks, profile.lowest_bitrate, profile.highest_bitrate);
+    config.chunk_duration = profile.chunk_duration;
+    config.target_pasr = SamplePasr(profile, rng);
+    config.shot_based = rng.Chance(profile.shot_based_fraction);
+    if (profile.separate_audio) {
+      config.audio_bitrates = {128 * kKbps};
+    }
+    const TimeUs duration = rng.UniformInt(profile.min_duration, profile.max_duration);
+    corpus.push_back(EncodeAsset(profile.name + "-video-" + std::to_string(i),
+                                 "cdn." + profile.name + ".example", duration, config, rng));
+  }
+  return corpus;
+}
+
+}  // namespace csi::media

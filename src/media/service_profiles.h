@@ -1,0 +1,52 @@
+// Calibrated per-service encoding corpora.
+//
+// The paper's Table 3 studies encodings crawled from six commercial services
+// (Amazon, Facebook Watch, HBO Now, Hulu, Vudu, YouTube). We cannot crawl
+// those services here, so each profile is a generator calibrated to the
+// PASR statistics the paper reports (median and 95th percentile across the
+// corpus) plus service-appropriate structure: chunk duration, ladder size,
+// separate-vs-muxed audio, and shot-based encoding for services that use it.
+// The uniqueness results of Table 3 are then *measured* on the generated
+// corpora, not copied from the paper.
+
+#ifndef CSI_SRC_MEDIA_SERVICE_PROFILES_H_
+#define CSI_SRC_MEDIA_SERVICE_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/media/encoder.h"
+#include "src/media/manifest.h"
+
+namespace csi::media {
+
+struct ServiceProfile {
+  std::string name;
+  int corpus_size = 30;        // #videos in the paper's crawl
+  double pasr_median = 1.5;    // calibration targets (Table 3)
+  double pasr_p95 = 1.6;
+  TimeUs chunk_duration = 5 * kUsPerSec;
+  int min_tracks = 5;
+  int max_tracks = 7;
+  BitsPerSec lowest_bitrate = 200 * kKbps;
+  BitsPerSec highest_bitrate = 6000 * kKbps;
+  bool separate_audio = true;
+  double shot_based_fraction = 0.0;  // fraction of corpus using shot-based encoding
+  TimeUs min_duration = 3 * 60 * kUsPerSec;
+  TimeUs max_duration = 20 * 60 * kUsPerSec;
+};
+
+// The six profiles of Table 3, in the paper's row order.
+std::vector<ServiceProfile> Table3Services();
+
+// Draws one asset's target PASR from the service's calibrated distribution.
+double SamplePasr(const ServiceProfile& profile, Rng& rng);
+
+// Generates a corpus of `count` manifests for the service (count <= 0 uses
+// profile.corpus_size).
+std::vector<Manifest> GenerateCorpus(const ServiceProfile& profile, int count, Rng& rng);
+
+}  // namespace csi::media
+
+#endif  // CSI_SRC_MEDIA_SERVICE_PROFILES_H_

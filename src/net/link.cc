@@ -1,0 +1,59 @@
+#include "src/net/link.h"
+
+#include <utility>
+
+namespace csi::net {
+
+Link::Link(sim::Simulator* sim, LinkConfig config, std::unique_ptr<LossModel> loss, Rng rng,
+           PacketSink sink)
+    : sim_(sim),
+      config_(config),
+      loss_(std::move(loss)),
+      rng_(rng),
+      sink_(std::move(sink)) {}
+
+void Link::Send(const Packet& packet) {
+  if (loss_ != nullptr && loss_->ShouldDrop(rng_)) {
+    ++packets_dropped_;
+    return;
+  }
+  if (config_.queue_limit > 0 && queued_bytes_ + packet.WireSize() > config_.queue_limit) {
+    ++packets_dropped_;  // drop-tail
+    return;
+  }
+  queue_.push_back(packet);
+  queued_bytes_ += packet.WireSize();
+  if (!transmitting_) {
+    ScheduleNextDeparture();
+  }
+}
+
+void Link::ScheduleNextDeparture() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const Packet packet = queue_.front();
+  // Serialization time at the rate in force when transmission starts. Trace
+  // granularity (seconds) dwarfs per-packet times (sub-millisecond), so
+  // sampling the rate once per packet is accurate.
+  TimeUs serialization = 0;
+  if (config_.trace != nullptr) {
+    serialization = TransmissionTimeUs(packet.WireSize(), config_.trace->RateAt(sim_->Now()));
+  }
+  sim_->ScheduleAfter(serialization, [this] {
+    const Packet sent = queue_.front();
+    queue_.pop_front();
+    queued_bytes_ -= sent.WireSize();
+    ++packets_delivered_;
+    sim_->ScheduleAfter(config_.propagation_delay, [this, sent] {
+      if (sink_) {
+        sink_(sent);
+      }
+    });
+    ScheduleNextDeparture();
+  });
+}
+
+}  // namespace csi::net

@@ -1,0 +1,66 @@
+// Unidirectional emulated link.
+//
+// Models the gateway's `tc`-driven emulation (paper §4.2): packets are
+// serialized at the rate a `BandwidthTrace` dictates at dequeue time, pass
+// through a drop-tail queue of bounded byte depth, suffer optional random
+// loss, and arrive after a fixed propagation delay. A tap callback observes
+// every delivered packet (used by the capture module).
+
+#ifndef CSI_SRC_NET_LINK_H_
+#define CSI_SRC_NET_LINK_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/net/loss_model.h"
+#include "src/net/packet.h"
+#include "src/nettrace/bandwidth_trace.h"
+#include "src/sim/simulator.h"
+
+namespace csi::net {
+
+struct LinkConfig {
+  // Rate source. If null the link is infinitely fast.
+  const nettrace::BandwidthTrace* trace = nullptr;
+  // One-way propagation delay.
+  TimeUs propagation_delay = 20 * kUsPerMs;
+  // Drop-tail queue depth in bytes (0 = unbounded).
+  Bytes queue_limit = 192 * kKiB;
+};
+
+class Link {
+ public:
+  // `sink` receives packets that survive the link. `loss` may be null (no
+  // loss).
+  Link(sim::Simulator* sim, LinkConfig config, std::unique_ptr<LossModel> loss, Rng rng,
+       PacketSink sink);
+
+  // Entry point: enqueue a packet for transmission.
+  void Send(const Packet& packet);
+
+  // Statistics.
+  int64_t packets_delivered() const { return packets_delivered_; }
+  int64_t packets_dropped() const { return packets_dropped_; }
+  Bytes queued_bytes() const { return queued_bytes_; }
+
+ private:
+  void ScheduleNextDeparture();
+
+  sim::Simulator* sim_;
+  LinkConfig config_;
+  std::unique_ptr<LossModel> loss_;
+  Rng rng_;
+  PacketSink sink_;
+
+  std::deque<Packet> queue_;
+  Bytes queued_bytes_ = 0;
+  bool transmitting_ = false;
+  int64_t packets_delivered_ = 0;
+  int64_t packets_dropped_ = 0;
+};
+
+}  // namespace csi::net
+
+#endif  // CSI_SRC_NET_LINK_H_

@@ -1,0 +1,69 @@
+// Packet-loss models for the simulated link.
+
+#ifndef CSI_SRC_NET_LOSS_MODEL_H_
+#define CSI_SRC_NET_LOSS_MODEL_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+
+namespace csi::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  // Returns true if the current packet should be dropped.
+  virtual bool ShouldDrop(Rng& rng) = 0;
+};
+
+// Independent (Bernoulli) loss with a fixed probability.
+class BernoulliLoss : public LossModel {
+ public:
+  explicit BernoulliLoss(double probability) : probability_(probability) {}
+  bool ShouldDrop(Rng& rng) override { return rng.Chance(probability_); }
+
+ private:
+  double probability_;
+};
+
+// Two-state Gilbert-Elliott bursty loss: a good state with low loss and a bad
+// state with high loss, with geometric dwell times.
+class GilbertElliottLoss : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                     double loss_bad)
+      : p_good_to_bad_(p_good_to_bad),
+        p_bad_to_good_(p_bad_to_good),
+        loss_good_(loss_good),
+        loss_bad_(loss_bad) {}
+
+  bool ShouldDrop(Rng& rng) override {
+    if (in_bad_state_) {
+      if (rng.Chance(p_bad_to_good_)) {
+        in_bad_state_ = false;
+      }
+    } else {
+      if (rng.Chance(p_good_to_bad_)) {
+        in_bad_state_ = true;
+      }
+    }
+    return rng.Chance(in_bad_state_ ? loss_bad_ : loss_good_);
+  }
+
+ private:
+  double p_good_to_bad_;
+  double p_bad_to_good_;
+  double loss_good_;
+  double loss_bad_;
+  bool in_bad_state_ = false;
+};
+
+// No loss.
+class NoLoss : public LossModel {
+ public:
+  bool ShouldDrop(Rng&) override { return false; }
+};
+
+}  // namespace csi::net
+
+#endif  // CSI_SRC_NET_LOSS_MODEL_H_

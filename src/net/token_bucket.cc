@@ -1,0 +1,65 @@
+#include "src/net/token_bucket.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csi::net {
+
+TokenBucket::TokenBucket(sim::Simulator* sim, TokenBucketConfig config, PacketSink sink)
+    : sim_(sim),
+      config_(config),
+      sink_(std::move(sink)),
+      tokens_(static_cast<double>(config.bucket_size)),
+      last_refill_(sim->Now()) {}
+
+void TokenBucket::Refill() {
+  const TimeUs now = sim_->Now();
+  const double earned = config_.rate / 8.0 * UsToSeconds(now - last_refill_);
+  tokens_ = std::min(tokens_ + earned, static_cast<double>(config_.bucket_size));
+  last_refill_ = now;
+}
+
+Bytes TokenBucket::TokensAvailable() {
+  Refill();
+  return static_cast<Bytes>(tokens_);
+}
+
+void TokenBucket::Send(const Packet& packet) {
+  if (config_.queue_limit > 0 && queued_bytes_ + packet.WireSize() > config_.queue_limit) {
+    ++packets_dropped_;
+    return;
+  }
+  queue_.push_back(packet);
+  queued_bytes_ += packet.WireSize();
+  TryDrain();
+}
+
+void TokenBucket::TryDrain() {
+  Refill();
+  while (!queue_.empty()) {
+    const Bytes need = queue_.front().WireSize();
+    if (tokens_ < static_cast<double>(need)) {
+      break;
+    }
+    tokens_ -= static_cast<double>(need);
+    const Packet packet = queue_.front();
+    queue_.pop_front();
+    queued_bytes_ -= need;
+    if (sink_) {
+      sink_(packet);
+    }
+  }
+  if (!queue_.empty() && pending_event_ == 0) {
+    // Wake when enough tokens exist for the head packet.
+    const double deficit = static_cast<double>(queue_.front().WireSize()) - tokens_;
+    const TimeUs wait = config_.rate > 0.0
+                            ? SecondsToUs(deficit * 8.0 / config_.rate) + 1
+                            : kUsPerSec;
+    pending_event_ = sim_->ScheduleAfter(wait, [this] {
+      pending_event_ = 0;
+      TryDrain();
+    });
+  }
+}
+
+}  // namespace csi::net

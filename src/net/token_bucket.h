@@ -1,0 +1,55 @@
+// Token-bucket traffic shaper (the `tc tbf` analogue of paper §7).
+//
+// Tokens (bytes) accrue at rate `r` up to bucket size `N`. A packet departs
+// immediately if the bucket holds enough tokens for its wire size; otherwise
+// it queues until tokens accumulate. The two parameters r and N are exactly
+// the knobs explored in Fig. 10.
+
+#ifndef CSI_SRC_NET_TOKEN_BUCKET_H_
+#define CSI_SRC_NET_TOKEN_BUCKET_H_
+
+#include <deque>
+
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace csi::net {
+
+struct TokenBucketConfig {
+  BitsPerSec rate = 1.5 * kMbps;  // token generation rate r
+  Bytes bucket_size = 50 * kKB;   // bucket size N
+  // Shaper queue depth in bytes (0 = unbounded). `tc tbf` uses a finite
+  // limit; overflow drops.
+  Bytes queue_limit = 0;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(sim::Simulator* sim, TokenBucketConfig config, PacketSink sink);
+
+  void Send(const Packet& packet);
+
+  int64_t packets_dropped() const { return packets_dropped_; }
+  // Tokens currently available (refreshed to now).
+  Bytes TokensAvailable();
+
+ private:
+  void Refill();
+  void TryDrain();
+
+  sim::Simulator* sim_;
+  TokenBucketConfig config_;
+  PacketSink sink_;
+
+  double tokens_;          // bytes
+  TimeUs last_refill_ = 0;
+  std::deque<Packet> queue_;
+  Bytes queued_bytes_ = 0;
+  uint64_t pending_event_ = 0;
+  int64_t packets_dropped_ = 0;
+};
+
+}  // namespace csi::net
+
+#endif  // CSI_SRC_NET_TOKEN_BUCKET_H_

@@ -1,0 +1,143 @@
+#include "src/nettrace/bandwidth_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace csi::nettrace {
+
+BandwidthTrace::BandwidthTrace(std::string name, std::vector<Segment> segments)
+    : name_(std::move(name)), segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("BandwidthTrace: no segments");
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  if (segments_.front().start != 0) {
+    throw std::invalid_argument("BandwidthTrace: first segment must start at 0");
+  }
+  // The trace period extends the last segment by the mean preceding segment
+  // length (or 1 s for a single-segment trace).
+  if (segments_.size() == 1) {
+    period_ = segments_.back().start + kUsPerSec;
+  } else {
+    const TimeUs mean_len = segments_.back().start / static_cast<TimeUs>(segments_.size() - 1);
+    period_ = segments_.back().start + std::max<TimeUs>(mean_len, 1);
+  }
+}
+
+BitsPerSec BandwidthTrace::RateAt(TimeUs t) const {
+  const TimeUs local = t % period_;
+  // Last segment whose start <= local.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), local,
+      [](TimeUs value, const Segment& s) { return value < s.start; });
+  return std::prev(it)->rate;
+}
+
+TimeUs BandwidthTrace::NextChangeAfter(TimeUs t) const {
+  const TimeUs cycle = t / period_;
+  const TimeUs local = t % period_;
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), local,
+      [](TimeUs value, const Segment& s) { return value < s.start; });
+  if (it == segments_.end()) {
+    return (cycle + 1) * period_;  // wraps to the start of the next cycle
+  }
+  return cycle * period_ + it->start;
+}
+
+BitsPerSec BandwidthTrace::AverageRate() const {
+  double weighted = 0.0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const TimeUs end = i + 1 < segments_.size() ? segments_[i + 1].start : period_;
+    weighted += segments_[i].rate * static_cast<double>(end - segments_[i].start);
+  }
+  return weighted / static_cast<double>(period_);
+}
+
+TimeUs BandwidthTrace::Period() const { return period_; }
+
+std::string BandwidthTrace::Serialize() const {
+  std::ostringstream out;
+  for (const Segment& s : segments_) {
+    out << s.start << " " << static_cast<int64_t>(s.rate) << "\n";
+  }
+  return out.str();
+}
+
+BandwidthTrace BandwidthTrace::Parse(const std::string& name, const std::string& text) {
+  std::istringstream in(text);
+  std::vector<Segment> segments;
+  TimeUs start = 0;
+  int64_t rate = 0;
+  while (in >> start >> rate) {
+    segments.push_back(Segment{start, static_cast<BitsPerSec>(rate)});
+  }
+  return BandwidthTrace(name, std::move(segments));
+}
+
+BandwidthTrace StableTrace(const std::string& name, BitsPerSec rate) {
+  return BandwidthTrace(name, {{0, rate}});
+}
+
+BandwidthTrace SquareWaveTrace(const std::string& name, BitsPerSec high, BitsPerSec low,
+                               TimeUs high_duration, TimeUs low_duration) {
+  std::vector<BandwidthTrace::Segment> segments;
+  segments.push_back({0, high});
+  segments.push_back({high_duration, low});
+  segments.push_back({high_duration + low_duration, high});
+  return BandwidthTrace(name, std::move(segments));
+}
+
+BandwidthTrace CellularTrace(const std::string& name, BitsPerSec mean_rate,
+                             double coeff_variation, TimeUs duration, TimeUs granularity,
+                             Rng& rng) {
+  // Log-normal marginal with AR(1) temporal correlation in log space.
+  const double cv2 = coeff_variation * coeff_variation;
+  const double sigma = std::sqrt(std::log(1.0 + cv2));
+  const double mu = std::log(mean_rate) - 0.5 * sigma * sigma;
+  const double ar = 0.7;
+  std::vector<BandwidthTrace::Segment> segments;
+  double z = rng.Normal();
+  for (TimeUs t = 0; t < duration; t += granularity) {
+    z = ar * z + std::sqrt(1.0 - ar * ar) * rng.Normal();
+    const double rate = std::exp(mu + sigma * z);
+    segments.push_back({t, std::max(rate, 50.0 * kKbps)});
+  }
+  return BandwidthTrace(name, std::move(segments));
+}
+
+BandwidthTrace ConditionB1() { return StableTrace("B1-stable-10Mbps", 10 * kMbps); }
+
+BandwidthTrace ConditionB2() {
+  // Mostly 10 Mbps with occasional dips to 1 Mbps (Fig. 11's B2 profile):
+  // 50 s high, 15 s low.
+  std::vector<BandwidthTrace::Segment> segments;
+  TimeUs t = 0;
+  for (int i = 0; i < 4; ++i) {
+    segments.push_back({t, 10 * kMbps});
+    t += 50 * kUsPerSec;
+    segments.push_back({t, 1 * kMbps});
+    t += 15 * kUsPerSec;
+  }
+  return BandwidthTrace("B2-10Mbps-dips", std::move(segments));
+}
+
+std::vector<BandwidthTrace> CellularTraceLibrary(int count, TimeUs duration, Rng& rng) {
+  std::vector<BandwidthTrace> traces;
+  traces.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Geometric spread of mean rates over 0.6..40 Mbps, alternating low and
+    // high variability.
+    const double frac = count > 1 ? static_cast<double>(i) / (count - 1) : 0.0;
+    const BitsPerSec mean = 0.6 * kMbps * std::pow(40.0 / 0.6, frac);
+    const double cv = (i % 3 == 0) ? 0.25 : (i % 3 == 1) ? 0.5 : 0.9;
+    traces.push_back(CellularTrace("cell-" + std::to_string(i), mean, cv, duration,
+                                   2 * kUsPerSec, rng));
+  }
+  return traces;
+}
+
+}  // namespace csi::nettrace

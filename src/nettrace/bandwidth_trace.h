@@ -1,0 +1,80 @@
+// Bandwidth traces for trace-driven network emulation.
+//
+// The paper replays 30 throughput traces collected in commercial mobile
+// networks through a `tc`-shaped gateway (§6.2). Here a `BandwidthTrace` is a
+// piecewise-constant rate function of time that the simulated link consults;
+// generators below synthesize cellular-like traces spanning the paper's range
+// (0.6-40 Mbps average, varied variability) plus the B1/B2 conditions of §7.
+
+#ifndef CSI_SRC_NETTRACE_BANDWIDTH_TRACE_H_
+#define CSI_SRC_NETTRACE_BANDWIDTH_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace csi::nettrace {
+
+class BandwidthTrace {
+ public:
+  struct Segment {
+    TimeUs start = 0;       // segment start time
+    BitsPerSec rate = 0.0;  // rate from `start` until the next segment
+  };
+
+  BandwidthTrace() = default;
+  BandwidthTrace(std::string name, std::vector<Segment> segments);
+
+  // Rate at simulated time `t`. Times beyond the last segment repeat the
+  // trace cyclically (the paper loops traces for long sessions).
+  BitsPerSec RateAt(TimeUs t) const;
+
+  // Time at which the rate next changes after `t` (respecting cycling).
+  TimeUs NextChangeAfter(TimeUs t) const;
+
+  // Average rate over one trace period.
+  BitsPerSec AverageRate() const;
+
+  // Duration of one period of the trace.
+  TimeUs Period() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  // Text round-trip ("<start_us> <rate_bps>" per line).
+  std::string Serialize() const;
+  static BandwidthTrace Parse(const std::string& name, const std::string& text);
+
+ private:
+  std::string name_;
+  std::vector<Segment> segments_;  // sorted by start; first start is 0
+  TimeUs period_ = 0;
+};
+
+// Constant-rate trace.
+BandwidthTrace StableTrace(const std::string& name, BitsPerSec rate);
+
+// Alternates between `high` and `low`, `high_duration`/`low_duration` each.
+BandwidthTrace SquareWaveTrace(const std::string& name, BitsPerSec high, BitsPerSec low,
+                               TimeUs high_duration, TimeUs low_duration);
+
+// Cellular-like trace: Markov-modulated log-normal rates with the given mean
+// and coefficient of variation, changing every `granularity`.
+BandwidthTrace CellularTrace(const std::string& name, BitsPerSec mean_rate,
+                             double coeff_variation, TimeUs duration, TimeUs granularity,
+                             Rng& rng);
+
+// The §7 conditions: B1 = stable 10 Mbps; B2 = 10 Mbps with occasional drops
+// to 1 Mbps.
+BandwidthTrace ConditionB1();
+BandwidthTrace ConditionB2();
+
+// A library of `count` cellular traces covering 0.6-40 Mbps averages with
+// varied variability, as in the paper's §6.2 replay corpus.
+std::vector<BandwidthTrace> CellularTraceLibrary(int count, TimeUs duration, Rng& rng);
+
+}  // namespace csi::nettrace
+
+#endif  // CSI_SRC_NETTRACE_BANDWIDTH_TRACE_H_

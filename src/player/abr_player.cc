@@ -1,0 +1,266 @@
+#include "src/player/abr_player.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/app/resource.h"
+
+namespace csi::player {
+
+using media::ChunkRef;
+using media::MediaType;
+
+AbrPlayer::AbrPlayer(sim::Simulator* sim, PlayerConfig config, const media::Manifest* manifest,
+                     std::unique_ptr<Adaptation> adaptation, http::HttpSession* session,
+                     Rng rng)
+    : sim_(sim),
+      config_(config),
+      manifest_(manifest),
+      adaptation_(std::move(adaptation)),
+      session_(session),
+      rng_(rng),
+      next_video_index_(config.start_index),
+      next_audio_index_(config.start_index),
+      throughput_(config.ewma_alpha) {}
+
+void AbrPlayer::Start() {
+  session_->Connect([this] { FetchManifest(); });
+}
+
+Bytes AbrPlayer::RequestBytes() {
+  return config_.request_bytes + rng_.UniformInt(0, std::max<Bytes>(config_.request_jitter, 1));
+}
+
+void AbrPlayer::FetchManifest() {
+  const app::Resource manifest_res = app::Resource::ManifestOf(manifest_->asset_id);
+  session_->Get(manifest_res.ToTag(), RequestBytes(), [this](const http::FetchResult&) {
+    manifest_loaded_ = true;
+    ScheduleDownloads();
+  });
+}
+
+TimeUs AbrPlayer::PositionAt(TimeUs now) const {
+  return playing_ ? anchor_pos_ + (now - anchor_time_) : anchor_pos_;
+}
+
+TimeUs AbrPlayer::Position() const { return PositionAt(sim_->Now()); }
+
+TimeUs AbrPlayer::BufferedEnd() const {
+  return manifest_->has_separate_audio() ? std::min(video_end_pos_, audio_end_pos_)
+                                         : video_end_pos_;
+}
+
+TimeUs AbrPlayer::VideoBufferLevel() const {
+  return std::max<TimeUs>(video_end_pos_ - Position(), 0);
+}
+
+TimeUs AbrPlayer::AudioBufferLevel() const {
+  return std::max<TimeUs>(audio_end_pos_ - Position(), 0);
+}
+
+std::vector<StallRecord> AbrPlayer::stalls() const {
+  std::vector<StallRecord> result = stalls_;
+  if (stall_open_ && !result.empty() && result.back().end == 0) {
+    result.back().end = sim_->Now();
+  }
+  return result;
+}
+
+void AbrPlayer::ScheduleDownloads() {
+  if (!manifest_loaded_) {
+    return;
+  }
+  const int positions = manifest_->num_positions();
+  const bool separate_audio = manifest_->has_separate_audio();
+  const TimeUs video_buffer = VideoBufferLevel();
+
+  // Audio chases video: an audio chunk is due whenever the audio timeline
+  // trails the video timeline.
+  const bool audio_due =
+      separate_audio && next_audio_index_ < positions && audio_end_pos_ < video_end_pos_;
+  const bool video_due = next_video_index_ < positions;
+
+  if (config_.transport_mux) {
+    // SQ: audio and video pipelines run concurrently on the multiplexed
+    // connection, but stay in lockstep: while an audio chunk that trails the
+    // video timeline is in flight, the next video request waits for it, so
+    // requests are typically issued in simultaneous audio+video pairs (the
+    // behaviour behind the paper's SP2 split points).
+    const bool audio_catching_up =
+        separate_audio && audio_outstanding_ && audio_end_pos_ < video_end_pos_;
+    if (!video_outstanding_ && video_due && !audio_catching_up) {
+      if (video_buffer < config_.max_buffer) {
+        RequestVideo();
+      } else {
+        ArmBufferWake(video_buffer);
+      }
+    }
+    if (!audio_outstanding_ && audio_due) {
+      RequestAudio();
+    }
+    return;
+  }
+
+  // Non-MUX designs: one request outstanding on the connection at a time.
+  if (session_->outstanding() > 0) {
+    return;
+  }
+  if (audio_due) {
+    RequestAudio();
+    return;
+  }
+  if (video_due) {
+    if (video_buffer < config_.max_buffer) {
+      RequestVideo();
+    } else {
+      ArmBufferWake(video_buffer);
+    }
+  }
+}
+
+void AbrPlayer::ArmBufferWake(TimeUs video_buffer) {
+  if (wake_event_ != 0 || !playing_) {
+    // While paused/stalled the buffer cannot drain; playback transitions
+    // re-run ScheduleDownloads.
+    return;
+  }
+  const TimeUs wait = std::max<TimeUs>(video_buffer - config_.max_buffer, 0) + 20 * kUsPerMs;
+  wake_event_ = sim_->ScheduleAfter(wait, [this] {
+    wake_event_ = 0;
+    ScheduleDownloads();
+  });
+}
+
+void AbrPlayer::RequestVideo() {
+  AdaptationInput input;
+  input.est_throughput = est_throughput();
+  input.video_buffer = VideoBufferLevel();
+  input.current_track = current_track_;
+  input.chunks_downloaded = video_chunks_downloaded_;
+  input.manifest = manifest_;
+  const int track =
+      std::clamp(adaptation_->SelectVideoTrack(input), 0, manifest_->num_video_tracks() - 1);
+  const ChunkRef ref{MediaType::kVideo, track, next_video_index_};
+  ++next_video_index_;
+  video_outstanding_ = true;
+  session_->Get(app::Resource::ChunkOf(manifest_->asset_id, ref).ToTag(), RequestBytes(),
+                [this, ref](const http::FetchResult& result) { OnChunkDone(ref, result); });
+}
+
+void AbrPlayer::RequestAudio() {
+  const ChunkRef ref{MediaType::kAudio, 0, next_audio_index_};
+  ++next_audio_index_;
+  audio_outstanding_ = true;
+  session_->Get(app::Resource::ChunkOf(manifest_->asset_id, ref).ToTag(), RequestBytes(),
+                [this, ref](const http::FetchResult& result) { OnChunkDone(ref, result); });
+}
+
+void AbrPlayer::OnChunkDone(ChunkRef ref, const http::FetchResult& result) {
+  const media::Chunk& chunk = manifest_->ChunkOf(ref);
+  DownloadRecord record;
+  record.chunk = ref;
+  record.request_time = result.request_time;
+  record.done_time = result.done_time;
+  record.bytes = result.body_bytes;
+  downloads_.push_back(record);
+  total_bytes_ += result.body_bytes;
+
+  const TimeUs elapsed = std::max<TimeUs>(result.done_time - result.request_time, 1);
+  throughput_.Add(static_cast<double>(result.body_bytes) * 8.0 / UsToSeconds(elapsed));
+
+  if (ref.type == MediaType::kVideo) {
+    video_outstanding_ = false;
+    video_end_pos_ += chunk.duration;
+    current_track_ = ref.track;
+    ++video_chunks_downloaded_;
+    video_downloads_.push_back(record);
+  } else {
+    audio_outstanding_ = false;
+    audio_end_pos_ += chunk.duration;
+  }
+
+  UpdatePlayback();
+  ScheduleDownloads();
+}
+
+void AbrPlayer::UpdatePlayback() {
+  const TimeUs now = sim_->Now();
+  if (!playing_ && !playback_complete_) {
+    const TimeUs threshold = started_once_ ? config_.rebuffer_target : config_.startup_buffer;
+    const bool all_downloaded = next_video_index_ >= manifest_->num_positions() &&
+                                !video_outstanding_ && !audio_outstanding_;
+    const TimeUs available = BufferedEnd() - anchor_pos_;
+    if (available >= threshold || (all_downloaded && available > 0)) {
+      playing_ = true;
+      started_once_ = true;
+      anchor_time_ = now;
+      if (stall_open_) {
+        stalls_.back().end = now;
+        stall_open_ = false;
+      }
+      ScheduleDownloads();
+    }
+  }
+  ArmStallEvent();
+  ArmDisplayEvent();
+}
+
+void AbrPlayer::ArmStallEvent() {
+  if (stall_event_ != 0) {
+    sim_->Cancel(stall_event_);
+    stall_event_ = 0;
+  }
+  if (!playing_) {
+    return;
+  }
+  const TimeUs now = sim_->Now();
+  const TimeUs remaining = BufferedEnd() - PositionAt(now);
+  stall_event_ = sim_->ScheduleAfter(std::max<TimeUs>(remaining, 0), [this] {
+    stall_event_ = 0;
+    const TimeUs t = sim_->Now();
+    anchor_pos_ = PositionAt(t);
+    anchor_time_ = t;
+    playing_ = false;
+    // Distinguish end-of-content from a stall.
+    const bool content_done = next_video_index_ >= manifest_->num_positions() &&
+                              video_end_pos_ <= anchor_pos_;
+    if (content_done) {
+      playback_complete_ = true;
+    } else {
+      stalls_.push_back(StallRecord{t, 0});
+      stall_open_ = true;
+    }
+    UpdatePlayback();
+    ScheduleDownloads();
+  });
+}
+
+void AbrPlayer::ArmDisplayEvent() {
+  if (display_event_ != 0) {
+    sim_->Cancel(display_event_);
+    display_event_ = 0;
+  }
+  if (!playing_ || next_display_ordinal_ >= static_cast<int>(video_downloads_.size())) {
+    return;
+  }
+  // Playback position at which the next undisplayed chunk starts.
+  TimeUs boundary = 0;
+  for (int i = 0; i < next_display_ordinal_; ++i) {
+    boundary += manifest_->ChunkOf(video_downloads_[static_cast<size_t>(i)].chunk).duration;
+  }
+  const TimeUs now = sim_->Now();
+  const TimeUs wait = std::max<TimeUs>(boundary - PositionAt(now), 0);
+  display_event_ = sim_->ScheduleAfter(wait, [this] {
+    display_event_ = 0;
+    if (next_display_ordinal_ < static_cast<int>(video_downloads_.size())) {
+      DisplayRecord d;
+      d.chunk = video_downloads_[static_cast<size_t>(next_display_ordinal_)].chunk;
+      d.start_time = sim_->Now();
+      displays_.push_back(d);
+      ++next_display_ordinal_;
+    }
+    ArmDisplayEvent();
+  });
+}
+
+}  // namespace csi::player

@@ -1,0 +1,149 @@
+// ABR streaming client.
+//
+// Models the behaviours of commercial mobile players that CSI's inference
+// relies on (paper §5.2) and that its evaluation exercises (§6.2):
+//   * downloads the manifest, then chunks in contiguous playback-index order
+//     (Property (2)), with the track chosen per chunk by a pluggable
+//     adaptation policy;
+//   * maintains a playout buffer with a maximum occupancy; when full it
+//     pauses downloading until the buffer drains below the threshold,
+//     producing the ON-OFF traffic pattern CSI's SP1 split points detect;
+//   * issues at most one outstanding video and one outstanding audio request
+//     (concurrently on QUIC with separate audio — transport MUX; strictly
+//     serialized on HTTPS), which SP2 split points exploit;
+//   * records ground-truth download, display, and stall logs used to score
+//     inference accuracy (the paper's instrumented-ExoPlayer equivalent).
+
+#ifndef CSI_SRC_PLAYER_ABR_PLAYER_H_
+#define CSI_SRC_PLAYER_ABR_PLAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/http/http_session.h"
+#include "src/media/manifest.h"
+#include "src/player/adaptation.h"
+#include "src/sim/simulator.h"
+
+namespace csi::player {
+
+struct PlayerConfig {
+  // Maximum buffer occupancy: downloading pauses at this level (ON-OFF).
+  TimeUs max_buffer = 120 * kUsPerSec;
+  // Playback starts once this much content is buffered.
+  TimeUs startup_buffer = 10 * kUsPerSec;
+  // After a stall, playback resumes at this buffer level.
+  TimeUs rebuffer_target = 5 * kUsPerSec;
+  // Encrypted request size (URL + headers), jittered per request.
+  Bytes request_bytes = 380;
+  Bytes request_jitter = 60;
+  // First chunk index to play (tests may resume mid-video; Property (2) does
+  // not assume I_1 = 1).
+  int start_index = 0;
+  // Throughput EWMA smoothing factor.
+  double ewma_alpha = 0.25;
+  // True for QUIC with separate audio (design SQ): audio and video requests
+  // may be outstanding concurrently on the multiplexed connection.
+  bool transport_mux = false;
+};
+
+// Ground-truth logs (instrumented-player equivalents; CSI never reads these
+// during inference — only the scorer does).
+struct DownloadRecord {
+  media::ChunkRef chunk;
+  TimeUs request_time = 0;
+  TimeUs done_time = 0;
+  Bytes bytes = 0;
+};
+
+struct DisplayRecord {
+  media::ChunkRef chunk;
+  TimeUs start_time = 0;  // wall time the chunk starts being displayed
+};
+
+struct StallRecord {
+  TimeUs start = 0;
+  TimeUs end = 0;  // == start of resume; 0 while ongoing
+};
+
+class AbrPlayer {
+ public:
+  AbrPlayer(sim::Simulator* sim, PlayerConfig config, const media::Manifest* manifest,
+            std::unique_ptr<Adaptation> adaptation, http::HttpSession* session, Rng rng);
+
+  // Connects and begins streaming.
+  void Start();
+
+  // --- State queries ---
+  TimeUs VideoBufferLevel() const;
+  TimeUs AudioBufferLevel() const;
+  // Current playback position (time offset into the played content).
+  TimeUs Position() const;
+  bool playing() const { return playing_; }
+  bool playback_complete() const { return playback_complete_; }
+  BitsPerSec est_throughput() const { return throughput_.has_value() ? throughput_.value() : 0; }
+
+  // --- Ground-truth logs ---
+  const std::vector<DownloadRecord>& downloads() const { return downloads_; }
+  const std::vector<DisplayRecord>& displays() const { return displays_; }
+  // Stalls, with any open stall closed at the current time.
+  std::vector<StallRecord> stalls() const;
+  Bytes total_bytes_downloaded() const { return total_bytes_; }
+
+ private:
+  void FetchManifest();
+  void ScheduleDownloads();
+  void RequestVideo();
+  void RequestAudio();
+  void OnChunkDone(media::ChunkRef ref, const http::FetchResult& result);
+  void UpdatePlayback();
+  void ArmStallEvent();
+  void ArmDisplayEvent();
+  void ArmBufferWake(TimeUs video_buffer);
+  TimeUs PositionAt(TimeUs now) const;
+  TimeUs BufferedEnd() const;  // min of audio/video buffered end positions
+  Bytes RequestBytes();
+
+  sim::Simulator* sim_;
+  PlayerConfig config_;
+  const media::Manifest* manifest_;
+  std::unique_ptr<Adaptation> adaptation_;
+  http::HttpSession* session_;
+  Rng rng_;
+
+  bool manifest_loaded_ = false;
+  int next_video_index_ = 0;
+  int next_audio_index_ = 0;
+  bool video_outstanding_ = false;
+  bool audio_outstanding_ = false;
+  int current_track_ = -1;
+  int video_chunks_downloaded_ = 0;
+  Ewma throughput_;
+
+  // Playback state. Positions are offsets from the start_index boundary.
+  TimeUs video_end_pos_ = 0;
+  TimeUs audio_end_pos_ = 0;
+  bool playing_ = false;
+  bool started_once_ = false;
+  bool playback_complete_ = false;
+  TimeUs anchor_time_ = 0;
+  TimeUs anchor_pos_ = 0;
+  uint64_t stall_event_ = 0;
+  uint64_t display_event_ = 0;
+  uint64_t wake_event_ = 0;
+  int next_display_ordinal_ = 0;  // how many video chunks have begun display
+
+  std::vector<DownloadRecord> downloads_;
+  std::vector<DownloadRecord> video_downloads_;  // downloads_, video only
+  std::vector<DisplayRecord> displays_;
+  std::vector<StallRecord> stalls_;
+  bool stall_open_ = false;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace csi::player
+
+#endif  // CSI_SRC_PLAYER_ABR_PLAYER_H_

@@ -1,0 +1,79 @@
+#include "src/player/adaptation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csi::player {
+namespace {
+
+// Highest track with nominal bitrate <= budget; 0 if none fit.
+int HighestFitting(const media::Manifest& manifest, BitsPerSec budget) {
+  int pick = 0;
+  for (int t = 0; t < manifest.num_video_tracks(); ++t) {
+    if (manifest.video_tracks[static_cast<size_t>(t)].nominal_bitrate <= budget) {
+      pick = t;
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+int RateBasedAdaptation::SelectVideoTrack(const AdaptationInput& input) {
+  if (input.est_throughput <= 0) {
+    return 0;
+  }
+  return HighestFitting(*input.manifest, safety_ * input.est_throughput);
+}
+
+int BufferBasedAdaptation::SelectVideoTrack(const AdaptationInput& input) {
+  const int top = input.manifest->num_video_tracks() - 1;
+  if (input.video_buffer <= reservoir_) {
+    return 0;
+  }
+  if (input.video_buffer >= cushion_) {
+    return top;
+  }
+  const double frac = static_cast<double>(input.video_buffer - reservoir_) /
+                      static_cast<double>(cushion_ - reservoir_);
+  return static_cast<int>(frac * top);
+}
+
+int HybridAdaptation::SelectVideoTrack(const AdaptationInput& input) {
+  int candidate = input.est_throughput > 0
+                      ? HighestFitting(*input.manifest, safety_ * input.est_throughput)
+                      : 0;
+  const int current = std::max(input.current_track, 0);
+  if (input.video_buffer < low_buffer_ && candidate >= current && input.current_track >= 0) {
+    candidate = std::max(current - 1, 0);
+  } else if (candidate > current && input.video_buffer < up_switch_buffer_ &&
+             input.current_track >= 0) {
+    candidate = current;  // not enough headroom to switch up yet
+  }
+  return candidate;
+}
+
+int HuluLikeAdaptation::SelectVideoTrack(const AdaptationInput& input) {
+  if (input.chunks_downloaded < startup_chunks_ || input.est_throughput <= 0) {
+    return 0;
+  }
+  return HighestFitting(*input.manifest, safety_ * input.est_throughput);
+}
+
+std::unique_ptr<Adaptation> MakeAdaptation(const std::string& name) {
+  if (name == "rate-based") {
+    return std::make_unique<RateBasedAdaptation>();
+  }
+  if (name == "buffer-based") {
+    return std::make_unique<BufferBasedAdaptation>();
+  }
+  if (name == "hybrid") {
+    return std::make_unique<HybridAdaptation>();
+  }
+  if (name == "hulu-like") {
+    return std::make_unique<HuluLikeAdaptation>();
+  }
+  throw std::invalid_argument("unknown adaptation policy: " + name);
+}
+
+}  // namespace csi::player

@@ -1,0 +1,102 @@
+// ABR adaptation policies.
+//
+// CSI makes no assumptions about the client's track-selection logic (paper
+// §6.2); to honor that, the testbed exercises several distinct policies:
+// throughput-based, buffer-based (BBA-style), a hybrid, and a "Hulu-like"
+// policy reproducing the behaviour measured in §7 (start on the lowest track,
+// converge to the highest track whose bitrate is at most half the available
+// bandwidth).
+
+#ifndef CSI_SRC_PLAYER_ADAPTATION_H_
+#define CSI_SRC_PLAYER_ADAPTATION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/media/manifest.h"
+
+namespace csi::player {
+
+struct AdaptationInput {
+  // Smoothed throughput estimate; 0 when no sample exists yet.
+  BitsPerSec est_throughput = 0;
+  // Current video buffer level.
+  TimeUs video_buffer = 0;
+  // Track selected for the previous chunk; -1 before the first selection.
+  int current_track = -1;
+  // Video chunks downloaded so far this session.
+  int chunks_downloaded = 0;
+  const media::Manifest* manifest = nullptr;
+};
+
+class Adaptation {
+ public:
+  virtual ~Adaptation() = default;
+  // Returns the video track ordinal to fetch next (0-based).
+  virtual int SelectVideoTrack(const AdaptationInput& input) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Highest track whose nominal bitrate fits within safety * throughput.
+class RateBasedAdaptation : public Adaptation {
+ public:
+  explicit RateBasedAdaptation(double safety = 0.7) : safety_(safety) {}
+  int SelectVideoTrack(const AdaptationInput& input) override;
+  std::string name() const override { return "rate-based"; }
+
+ private:
+  double safety_;
+};
+
+// BBA-style: track rises linearly with buffer level between a reservoir and a
+// cushion.
+class BufferBasedAdaptation : public Adaptation {
+ public:
+  BufferBasedAdaptation(TimeUs reservoir = 10 * kUsPerSec, TimeUs cushion = 50 * kUsPerSec)
+      : reservoir_(reservoir), cushion_(cushion) {}
+  int SelectVideoTrack(const AdaptationInput& input) override;
+  std::string name() const override { return "buffer-based"; }
+
+ private:
+  TimeUs reservoir_;
+  TimeUs cushion_;
+};
+
+// Rate-based with buffer guard rails (ExoPlayer-flavoured): drops a level
+// when the buffer is low, requires headroom before switching up.
+class HybridAdaptation : public Adaptation {
+ public:
+  HybridAdaptation(double safety = 0.85, TimeUs low_buffer = 10 * kUsPerSec,
+                   TimeUs up_switch_buffer = 15 * kUsPerSec)
+      : safety_(safety), low_buffer_(low_buffer), up_switch_buffer_(up_switch_buffer) {}
+  int SelectVideoTrack(const AdaptationInput& input) override;
+  std::string name() const override { return "hybrid"; }
+
+ private:
+  double safety_;
+  TimeUs low_buffer_;
+  TimeUs up_switch_buffer_;
+};
+
+// Reproduces the Hulu behaviour of §7: the first few chunks come from the
+// lowest track, then the player converges to the highest track whose bitrate
+// is at most `safety` (one half) of the estimated bandwidth.
+class HuluLikeAdaptation : public Adaptation {
+ public:
+  HuluLikeAdaptation(double safety = 0.5, int startup_chunks = 3)
+      : safety_(safety), startup_chunks_(startup_chunks) {}
+  int SelectVideoTrack(const AdaptationInput& input) override;
+  std::string name() const override { return "hulu-like"; }
+
+ private:
+  double safety_;
+  int startup_chunks_;
+};
+
+// Factory by name ("rate-based", "buffer-based", "hybrid", "hulu-like").
+std::unique_ptr<Adaptation> MakeAdaptation(const std::string& name);
+
+}  // namespace csi::player
+
+#endif  // CSI_SRC_PLAYER_ADAPTATION_H_

@@ -1,0 +1,65 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csi::sim {
+
+uint64_t Simulator::ScheduleAt(TimeUs when, Callback cb) {
+  const uint64_t id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+uint64_t Simulator::ScheduleAfter(TimeUs delay, Callback cb) {
+  return ScheduleAt(now_ + std::max<TimeUs>(delay, 0), std::move(cb));
+}
+
+bool Simulator::Cancel(uint64_t id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::PopAndFire() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      continue;  // cancelled
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::Run(size_t max_events) {
+  size_t fired = 0;
+  while (fired < max_events && PopAndFire()) {
+    ++fired;
+  }
+  return fired;
+}
+
+size_t Simulator::RunUntil(TimeUs deadline) {
+  size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones so queue_.top() reflects a live event.
+    if (callbacks_.find(queue_.top().id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) {
+      break;
+    }
+    if (PopAndFire()) {
+      ++fired;
+    }
+  }
+  now_ = std::max(now_, deadline);
+  return fired;
+}
+
+}  // namespace csi::sim

@@ -1,0 +1,79 @@
+// Discrete-event simulation core.
+//
+// Everything in the CSI testbed (links, transports, players, servers) runs on
+// a single `Simulator`: a clock plus a priority queue of timestamped events.
+// Events scheduled for the same instant fire in scheduling order, which makes
+// runs fully deterministic.
+
+#ifndef CSI_SRC_SIM_SIMULATOR_H_
+#define CSI_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace csi::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  // Current simulated time.
+  TimeUs Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `when` (clamped to Now()).
+  // Returns an id usable with Cancel().
+  uint64_t ScheduleAt(TimeUs when, Callback cb);
+
+  // Schedules `cb` to run `delay` microseconds from now.
+  uint64_t ScheduleAfter(TimeUs delay, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op. Returns true if the event was pending.
+  bool Cancel(uint64_t id);
+
+  // Runs events until the queue drains or `max_events` fire. Returns the
+  // number of events fired.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  // Runs events with timestamps <= `deadline`, then advances the clock to
+  // `deadline` if it ended earlier. Returns events fired.
+  size_t RunUntil(TimeUs deadline);
+
+  // Number of live (non-cancelled) pending events.
+  size_t pending_events() const { return callbacks_.size(); }
+
+ private:
+  struct Event {
+    TimeUs when;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    uint64_t id;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Fires the next live event, if any. Returns whether one fired.
+  bool PopAndFire();
+
+  TimeUs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Live callbacks by event id; Cancel() removes the entry and the heap entry
+  // becomes a tombstone skipped at pop time.
+  std::unordered_map<uint64_t, Callback> callbacks_;
+};
+
+}  // namespace csi::sim
+
+#endif  // CSI_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,46 @@
+// Experiment helpers shared by the Table 4 / Fig. 10 / Fig. 11 benchmarks.
+
+#ifndef CSI_SRC_TESTBED_EXPERIMENT_H_
+#define CSI_SRC_TESTBED_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/csi/inference.h"
+#include "src/media/encoder.h"
+#include "src/testbed/metrics.h"
+#include "src/testbed/session.h"
+
+namespace csi::testbed {
+
+// Encodes one test asset appropriate for `design` (separate audio for S*,
+// muxed for C*). `genre_seed` varies scene statistics across the paper's
+// "5 videos covering different genres".
+media::Manifest MakeAssetForDesign(infer::DesignType design, int genre_seed,
+                                   TimeUs duration = 15 * 60 * kUsPerSec,
+                                   double target_pasr = 1.6);
+
+// One full evaluation run: stream, capture, infer (with and without
+// displayed-chunk info), score.
+struct EvalRun {
+  AccuracyResult without_display;
+  AccuracyResult with_display;
+  std::vector<int> group_sizes;  // SQ only
+  TimeUs analysis_time_us = 0;   // inference wall-clock (without display)
+};
+
+EvalRun RunAndScore(const SessionConfig& session_config);
+
+// Aggregate Table 4 style statistics over many runs.
+struct AccuracyAggregate {
+  double pct_100_match = 0;     // % of runs where the output hits 100%
+  double pct_above_95 = 0;      // % of runs with accuracy > 95%
+  double pct5_accuracy = 0;     // 5th percentile of accuracy across runs
+};
+
+// Aggregates one column family (best or worst outputs).
+AccuracyAggregate Aggregate(const std::vector<AccuracyResult>& runs, bool best);
+
+}  // namespace csi::testbed
+
+#endif  // CSI_SRC_TESTBED_EXPERIMENT_H_

@@ -1,0 +1,64 @@
+#include "src/testbed/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace csi::testbed {
+
+double SequenceAccuracy(const infer::InferredSequence& sequence,
+                        const std::vector<player::DownloadRecord>& ground_truth) {
+  // Ground truth: per-index video track, and the set of audio indexes.
+  std::map<int, int> gt_video;
+  std::set<int> gt_audio;
+  int total = 0;
+  for (const auto& d : ground_truth) {
+    if (d.chunk.type == media::MediaType::kVideo) {
+      gt_video[d.chunk.index] = d.chunk.track;
+    } else {
+      gt_audio.insert(d.chunk.index);
+    }
+    ++total;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  std::set<int> video_credited;
+  std::set<int> audio_credited;
+  for (const auto& slot : sequence.slots) {
+    if (slot.kind == infer::SlotKind::kVideo) {
+      auto it = gt_video.find(slot.chunk.index);
+      if (it != gt_video.end() && it->second == slot.chunk.track) {
+        video_credited.insert(slot.chunk.index);
+      }
+    } else if (slot.kind == infer::SlotKind::kAudio) {
+      if (gt_audio.count(slot.chunk.index) > 0) {
+        audio_credited.insert(slot.chunk.index);
+      }
+    }
+  }
+  return static_cast<double>(video_credited.size() + audio_credited.size()) /
+         static_cast<double>(total);
+}
+
+AccuracyResult ScoreInference(const infer::InferenceResult& result,
+                              const std::vector<player::DownloadRecord>& ground_truth) {
+  AccuracyResult acc;
+  acc.num_sequences = static_cast<int>(result.sequences.size());
+  acc.truncated = result.truncated;
+  acc.unique_output = acc.num_sequences == 1;
+  if (result.sequences.empty()) {
+    return acc;
+  }
+  acc.best = 0.0;
+  acc.worst = 1.0;
+  for (const auto& sequence : result.sequences) {
+    const double a = SequenceAccuracy(sequence, ground_truth);
+    acc.best = std::max(acc.best, a);
+    acc.worst = std::min(acc.worst, a);
+  }
+  acc.found_ground_truth = acc.best >= 1.0 - 1e-9;
+  return acc;
+}
+
+}  // namespace csi::testbed

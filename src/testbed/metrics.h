@@ -1,0 +1,39 @@
+// Inference-accuracy scoring against instrumented-player ground truth
+// (paper §6.2 methodology).
+//
+// The accuracy of one inferred sequence is the fraction of the ground-truth
+// media downloads whose identity it recovers: a video download (index i,
+// track t) counts when the sequence contains a video chunk with the same
+// index and track; an audio download (index i) counts when the sequence
+// contains an audio chunk with that index. The engine may emit several
+// candidate sequences; as in Table 4 we report the best and worst.
+
+#ifndef CSI_SRC_TESTBED_METRICS_H_
+#define CSI_SRC_TESTBED_METRICS_H_
+
+#include <vector>
+
+#include "src/csi/types.h"
+#include "src/player/abr_player.h"
+
+namespace csi::testbed {
+
+struct AccuracyResult {
+  double best = 0.0;
+  double worst = 0.0;
+  int num_sequences = 0;
+  bool found_ground_truth = false;  // some sequence scores 100%
+  bool unique_output = false;       // exactly one sequence emitted
+  bool truncated = false;
+};
+
+// Accuracy of one sequence against the ground-truth download log.
+double SequenceAccuracy(const infer::InferredSequence& sequence,
+                        const std::vector<player::DownloadRecord>& ground_truth);
+
+AccuracyResult ScoreInference(const infer::InferenceResult& result,
+                              const std::vector<player::DownloadRecord>& ground_truth);
+
+}  // namespace csi::testbed
+
+#endif  // CSI_SRC_TESTBED_METRICS_H_

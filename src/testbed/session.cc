@@ -1,0 +1,86 @@
+#include "src/testbed/session.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/app/origin_server.h"
+#include "src/capture/capture.h"
+#include "src/csi/inference.h"
+#include "src/http/http_session.h"
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace csi::testbed {
+
+SessionResult RunStreamingSession(const SessionConfig& config) {
+  sim::Simulator sim;
+  Rng rng(config.seed);
+
+  app::OriginServer origin;
+  origin.Host(config.manifest);
+
+  http::SessionConfig session_config;
+  session_config.protocol =
+      infer::IsQuic(config.design) ? http::Protocol::kQuic : http::Protocol::kHttps;
+  session_config.sni = config.manifest->host;
+  session_config.flow_id = 1;
+
+  capture::GatewayTap tap(&sim);
+
+  // The pieces reference each other through sinks; build bottom-up.
+  std::unique_ptr<http::HttpSession> session;
+
+  // Downlink: server -> [shaper] -> emulated link -> tap -> client.
+  net::PacketSink to_client = tap.Tap([&session](const net::Packet& p) {
+    session->DeliverToClient(p);
+  });
+  net::LinkConfig downlink_config;
+  downlink_config.trace = &config.downlink;
+  downlink_config.propagation_delay = config.downlink_delay;
+  auto downlink = std::make_unique<net::Link>(
+      &sim, downlink_config,
+      config.downlink_loss > 0
+          ? std::unique_ptr<net::LossModel>(new net::BernoulliLoss(config.downlink_loss))
+          : std::unique_ptr<net::LossModel>(new net::NoLoss()),
+      rng.Fork(), std::move(to_client));
+  std::unique_ptr<net::TokenBucket> shaper;
+  net::PacketSink server_out = [&downlink](const net::Packet& p) { downlink->Send(p); };
+  if (config.shaper.has_value()) {
+    shaper = std::make_unique<net::TokenBucket>(&sim, *config.shaper, server_out);
+    server_out = [&shaper](const net::Packet& p) { shaper->Send(p); };
+  }
+
+  // Uplink: client -> tap -> fast link -> server.
+  net::LinkConfig uplink_config;
+  uplink_config.trace = nullptr;  // uplink is not the bottleneck
+  uplink_config.propagation_delay = config.uplink_delay;
+  auto uplink = std::make_unique<net::Link>(
+      &sim, uplink_config, std::make_unique<net::NoLoss>(), rng.Fork(),
+      [&session](const net::Packet& p) { session->DeliverToServer(p); });
+  net::PacketSink client_out = tap.Tap([&uplink](const net::Packet& p) { uplink->Send(p); });
+
+  session = std::make_unique<http::HttpSession>(
+      &sim, session_config, std::move(client_out), std::move(server_out),
+      [&origin](const std::string& tag) { return origin.ResponseBytesFor(tag); });
+
+  player::PlayerConfig player_config = config.player;
+  player_config.transport_mux = config.design == infer::DesignType::kSQ;
+  player::AbrPlayer player(&sim, player_config, config.manifest,
+                           player::MakeAdaptation(config.adaptation), session.get(),
+                           rng.Fork());
+  player.Start();
+
+  sim.RunUntil(config.duration);
+
+  SessionResult result;
+  result.capture = tap.TakeTrace();
+  result.downloads = player.downloads();
+  result.displays = player.displays();
+  result.stalls = player.stalls();
+  result.total_bytes = player.total_bytes_downloaded();
+  result.duration = config.duration;
+  result.final_throughput_estimate = player.est_throughput();
+  return result;
+}
+
+}  // namespace csi::testbed

@@ -1,0 +1,51 @@
+// Common interface for the two encrypted transports (HTTPS = TLS-over-TCP,
+// and QUIC).
+//
+// The HTTP layer exchanges *messages*: a client message (an HTTP request)
+// opens an exchange; the server replies with one message on the same
+// exchange. Message payloads are modeled as byte counts only — the simulation
+// never materializes content, mirroring the fact that a passive observer of
+// encrypted traffic cannot see it either.
+
+#ifndef CSI_SRC_TRANSPORT_CONNECTION_H_
+#define CSI_SRC_TRANSPORT_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/units.h"
+
+namespace csi::transport {
+
+// Application-visible connection events.
+struct ConnectionCallbacks {
+  // Client side: handshake finished; requests may be sent.
+  std::function<void()> on_ready;
+  // Server side: a client message (request) fully arrived.
+  std::function<void(uint64_t exchange_id, Bytes app_bytes)> on_request;
+  // Client side: a server message (response) fully arrived.
+  std::function<void(uint64_t exchange_id)> on_response;
+  // Client side: response download progress (app bytes received so far).
+  std::function<void(uint64_t exchange_id, Bytes received, Bytes total)> on_progress;
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Starts the handshake. `on_ready` fires when requests may flow.
+  virtual void Connect() = 0;
+
+  // Sends a client->server message; returns the exchange id.
+  virtual uint64_t SendRequest(Bytes app_bytes) = 0;
+
+  // Sends the server->client reply for `exchange_id`.
+  virtual void SendResponse(uint64_t exchange_id, Bytes app_bytes) = 0;
+
+  // True once the handshake completed.
+  virtual bool ready() const = 0;
+};
+
+}  // namespace csi::transport
+
+#endif  // CSI_SRC_TRANSPORT_CONNECTION_H_

@@ -1,0 +1,87 @@
+// Interval bookkeeping for received byte ranges.
+//
+// Used by the TCP receiver (out-of-order segments) and QUIC stream reassembly
+// to track which half-open byte ranges [lo, hi) have arrived.
+
+#ifndef CSI_SRC_TRANSPORT_INTERVAL_SET_H_
+#define CSI_SRC_TRANSPORT_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace csi::transport {
+
+class IntervalSet {
+ public:
+  // Inserts [lo, hi), merging with adjacent/overlapping intervals.
+  void Add(uint64_t lo, uint64_t hi) {
+    if (lo >= hi) {
+      return;
+    }
+    auto it = intervals_.upper_bound(lo);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        lo = prev->first;
+        hi = hi > prev->second ? hi : prev->second;
+        it = intervals_.erase(prev);
+      }
+    }
+    while (it != intervals_.end() && it->first <= hi) {
+      hi = hi > it->second ? hi : it->second;
+      it = intervals_.erase(it);
+    }
+    intervals_.emplace(lo, hi);
+  }
+
+  // True if every byte in [lo, hi) is present.
+  bool Contains(uint64_t lo, uint64_t hi) const {
+    if (lo >= hi) {
+      return true;
+    }
+    auto it = intervals_.upper_bound(lo);
+    if (it == intervals_.begin()) {
+      return false;
+    }
+    --it;
+    return it->first <= lo && it->second >= hi;
+  }
+
+  // Highest `hi` such that [0, hi) is fully present (0 if byte 0 missing).
+  uint64_t ContiguousPrefix() const {
+    auto it = intervals_.find(0);
+    if (it == intervals_.end()) {
+      auto first = intervals_.begin();
+      if (first == intervals_.end() || first->first != 0) {
+        return 0;
+      }
+      it = first;
+    }
+    return it->second;
+  }
+
+  // Total bytes covered.
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& [lo, hi] : intervals_) {
+      total += hi - lo;
+    }
+    return total;
+  }
+
+  bool empty() const { return intervals_.empty(); }
+
+  // All disjoint intervals, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> Ranges() const {
+    return {intervals_.begin(), intervals_.end()};
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> intervals_;  // lo -> hi, disjoint, sorted
+};
+
+}  // namespace csi::transport
+
+#endif  // CSI_SRC_TRANSPORT_INTERVAL_SET_H_

@@ -1,0 +1,364 @@
+#include "src/transport/quic_connection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csi::transport {
+
+using net::kQuicMaxPayload;
+using net::Packet;
+
+namespace {
+// Handshake message sizes (stream 0).
+constexpr Bytes kClientInitialBytes = 1200;  // padded Initial carrying the SNI
+constexpr Bytes kServerFlightBytes = 3000;   // ServerHello..Finished + certs
+// ACK frame size: fixed part + 2 bytes per reported range (capped).
+constexpr Bytes AckFrameBytes(size_t count) {
+  return 16 + 2 * static_cast<Bytes>(std::min<size_t>(count, 8));
+}
+}  // namespace
+
+uint64_t QuicConnection::StreamSend::PendingBytes() const {
+  uint64_t pending = total - next_offset;
+  for (const auto& [lo, hi] : retx) {
+    pending += hi - lo;
+  }
+  return pending;
+}
+
+QuicConnection::QuicConnection(sim::Simulator* sim, QuicConfig config,
+                               net::PacketSink client_out, net::PacketSink server_out,
+                               ConnectionCallbacks callbacks)
+    : sim_(sim),
+      config_(std::move(config)),
+      client_out_(std::move(client_out)),
+      server_out_(std::move(server_out)),
+      callbacks_(std::move(callbacks)) {
+  client_.is_client = true;
+  server_.is_client = false;
+  client_.cwnd = static_cast<double>(config_.initial_cwnd);
+  server_.cwnd = static_cast<double>(config_.initial_cwnd);
+}
+
+Packet QuicConnection::MakePacket(bool from_client) {
+  Packet p;
+  p.flow_id = config_.flow_id;
+  p.from_client = from_client;
+  p.transport = net::Transport::kUdp;
+  p.client_ip = config_.client_ip;
+  p.server_ip = config_.server_ip;
+  p.client_port = config_.client_port;
+  p.server_port = config_.server_port;
+  return p;
+}
+
+void QuicConnection::Connect() {
+  handshake_stage_ = 1;
+  server_.recv_streams[0].expected = kClientInitialBytes;
+  QueueStreamBytes(client_, 0, kClientInitialBytes);
+}
+
+uint64_t QuicConnection::SendRequest(Bytes app_bytes) {
+  const uint64_t stream_id = next_stream_id_;
+  next_stream_id_ += 4;
+  request_sizes_[stream_id] = app_bytes;
+  server_.recv_streams[stream_id].expected = static_cast<uint64_t>(app_bytes);
+  QueueStreamBytes(client_, stream_id, app_bytes);
+  return stream_id;
+}
+
+void QuicConnection::SendResponse(uint64_t exchange_id, Bytes app_bytes) {
+  const Bytes total = app_bytes + config_.response_header_bytes;
+  client_.recv_streams[exchange_id].expected = static_cast<uint64_t>(total);
+  QueueStreamBytes(server_, exchange_id, total);
+}
+
+void QuicConnection::QueueStreamBytes(Endpoint& ep, uint64_t stream_id, Bytes bytes) {
+  auto [it, inserted] = ep.send_streams.try_emplace(stream_id);
+  if (inserted) {
+    ep.streams_rr.push_back(stream_id);
+  }
+  it->second.total += static_cast<uint64_t>(bytes);
+  PumpSend(ep);
+}
+
+void QuicConnection::EmitPacket(Endpoint& ep, Packet packet, bool retransmittable) {
+  packet.quic_packet_number = ep.next_packet_number++;
+  if (ep.is_client && handshake_stage_ <= 1 && packet.quic_packet_number == 1) {
+    packet.sni = config_.sni;  // ClientHello in the Initial
+  }
+  if (retransmittable) {
+    SentPacket sent;
+    sent.frames = packet.sim_quic_frames;
+    sent.payload = packet.payload;
+    sent.send_time = sim_->Now();
+    sent.retransmission = packet.debug_is_retransmission;
+    ep.sent.emplace(packet.quic_packet_number, std::move(sent));
+    ep.bytes_in_flight += packet.payload;
+    ArmRto(ep);
+  }
+  (ep.is_client ? client_out_ : server_out_)(packet);
+}
+
+void QuicConnection::PumpSend(Endpoint& ep) {
+  for (int guard = 0; guard < 4096; ++guard) {
+    if (static_cast<double>(ep.bytes_in_flight) >= ep.cwnd) {
+      return;
+    }
+    Packet p = MakePacket(ep.is_client);
+    Bytes payload = 0;
+    // Piggyback any pending ACK frame.
+    if (!ep.pending_acks.empty()) {
+      payload += AckFrameBytes(ep.pending_acks.size());
+      p.sim_quic_acks = std::move(ep.pending_acks);
+      ep.pending_acks.clear();
+      if (ep.ack_event != 0) {
+        sim_->Cancel(ep.ack_event);
+        ep.ack_event = 0;
+      }
+    }
+    // Periodic client flow-control update (encrypted signalling overhead).
+    if (ep.is_client && ep.packets_since_max_data >= 32) {
+      payload += config_.max_data_frame_bytes;
+      ep.packets_since_max_data = 0;
+    }
+    // Fill with stream frames, round-robin across active streams.
+    bool any_data = false;
+    bool is_retx = false;
+    const size_t nstreams = ep.streams_rr.size();
+    for (size_t scan = 0; scan < nstreams; ++scan) {
+      const uint64_t sid = ep.streams_rr[(ep.rr_cursor + scan) % nstreams];
+      StreamSend& ss = ep.send_streams[sid];
+      while (ss.PendingBytes() > 0 &&
+             payload + config_.frame_header_bytes < kQuicMaxPayload) {
+        const Bytes space = kQuicMaxPayload - payload - config_.frame_header_bytes;
+        Packet::QuicFrame frame;
+        frame.stream_id = sid;
+        if (!ss.retx.empty()) {
+          auto& [lo, hi] = ss.retx.front();
+          frame.offset = lo;
+          frame.len = std::min<Bytes>(space, static_cast<Bytes>(hi - lo));
+          lo += static_cast<uint64_t>(frame.len);
+          if (lo >= hi) {
+            ss.retx.pop_front();
+          }
+          is_retx = true;
+        } else {
+          frame.offset = ss.next_offset;
+          frame.len = std::min<Bytes>(space, static_cast<Bytes>(ss.total - ss.next_offset));
+          ss.next_offset += static_cast<uint64_t>(frame.len);
+        }
+        if (frame.len <= 0) {
+          break;
+        }
+        payload += frame.len + config_.frame_header_bytes;
+        p.sim_quic_frames.push_back(frame);
+        any_data = true;
+      }
+      if (payload + config_.frame_header_bytes >= kQuicMaxPayload) {
+        break;
+      }
+      // Clients flush each request as its own datagram (as real HTTP/3
+      // stacks do) — this keeps simultaneous audio+video requests visible as
+      // two packets, the SP2 signal of paper §5.3.2.
+      if (ep.is_client && any_data) {
+        break;
+      }
+    }
+    if (nstreams > 0) {
+      ep.rr_cursor = (ep.rr_cursor + 1) % nstreams;
+    }
+    if (payload == 0) {
+      return;  // nothing to send
+    }
+    p.payload = net::kQuicHeaderBytes + payload;
+    p.debug_is_retransmission = is_retx;
+    EmitPacket(ep, std::move(p), any_data);
+    if (!any_data) {
+      return;  // ACK-only packet; no data left
+    }
+  }
+}
+
+void QuicConnection::FlushAcks(Endpoint& ep, bool allow_standalone) {
+  PumpSend(ep);  // may piggyback
+  if (ep.pending_acks.empty() || !allow_standalone) {
+    return;
+  }
+  Packet p = MakePacket(ep.is_client);
+  Bytes payload = AckFrameBytes(ep.pending_acks.size());
+  p.sim_quic_acks = std::move(ep.pending_acks);
+  ep.pending_acks.clear();
+  if (ep.ack_event != 0) {
+    sim_->Cancel(ep.ack_event);
+    ep.ack_event = 0;
+  }
+  if (ep.is_client && ep.packets_since_max_data >= 32) {
+    payload += config_.max_data_frame_bytes;
+    ep.packets_since_max_data = 0;
+  }
+  p.payload = net::kQuicHeaderBytes + payload;
+  EmitPacket(ep, std::move(p), /*retransmittable=*/false);
+}
+
+void QuicConnection::ArmRto(Endpoint& ep) {
+  if (ep.rto_event != 0) {
+    return;
+  }
+  ep.rto_event = sim_->ScheduleAfter(ep.rto, [this, &ep] {
+    ep.rto_event = 0;
+    OnRto(ep);
+  });
+}
+
+void QuicConnection::OnRto(Endpoint& ep) {
+  if (ep.sent.empty()) {
+    return;
+  }
+  const uint64_t oldest = ep.sent.begin()->first;
+  MarkLost(ep, oldest);
+  ep.cwnd = 2.0 * kQuicMaxPayload;
+  ep.ssthresh = std::max(ep.cwnd, 2.0 * kQuicMaxPayload);
+  ep.rto = std::min<TimeUs>(ep.rto * 2, config_.max_rto);
+  ArmRto(ep);
+  PumpSend(ep);
+}
+
+void QuicConnection::MarkLost(Endpoint& ep, uint64_t packet_number) {
+  auto it = ep.sent.find(packet_number);
+  if (it == ep.sent.end()) {
+    return;
+  }
+  ep.bytes_in_flight -= it->second.payload;
+  for (const auto& frame : it->second.frames) {
+    ep.send_streams[frame.stream_id].retx.emplace_back(
+        frame.offset, frame.offset + static_cast<uint64_t>(frame.len));
+  }
+  // Halve the window once per recovery epoch.
+  if (packet_number > ep.recovery_until) {
+    ep.cwnd = std::max(ep.cwnd / 2.0, 2.0 * kQuicMaxPayload);
+    ep.ssthresh = ep.cwnd;
+    ep.recovery_until = ep.next_packet_number;
+  }
+  ep.sent.erase(it);
+}
+
+void QuicConnection::DetectLosses(Endpoint& ep) {
+  // Packet-threshold loss detection: anything 3 below the largest
+  // acknowledged packet number is deemed lost.
+  std::vector<uint64_t> lost;
+  for (const auto& [num, pkt] : ep.sent) {
+    if (num + 3 <= ep.largest_acked) {
+      lost.push_back(num);
+    } else {
+      break;  // map is ordered
+    }
+  }
+  for (uint64_t num : lost) {
+    MarkLost(ep, num);
+  }
+}
+
+void QuicConnection::OnStreamComplete(Endpoint& ep, uint64_t stream_id) {
+  if (stream_id == 0) {
+    if (!ep.is_client && handshake_stage_ == 1) {
+      // Server got the Initial: send its flight.
+      handshake_stage_ = 2;
+      client_.recv_streams[0].expected = kServerFlightBytes;
+      QueueStreamBytes(server_, 0, kServerFlightBytes);
+    } else if (ep.is_client && handshake_stage_ == 2) {
+      handshake_stage_ = 3;
+      ready_ = true;
+      if (callbacks_.on_ready) {
+        callbacks_.on_ready();
+      }
+    }
+    return;
+  }
+  if (!ep.is_client) {
+    if (callbacks_.on_request) {
+      callbacks_.on_request(stream_id, request_sizes_[stream_id]);
+    }
+  } else {
+    if (callbacks_.on_response) {
+      callbacks_.on_response(stream_id);
+    }
+  }
+}
+
+void QuicConnection::OnPacket(Endpoint& ep, const Packet& packet) {
+  // Process acknowledgments of our packets.
+  if (!packet.sim_quic_acks.empty()) {
+    bool newly_acked = false;
+    for (uint64_t num : packet.sim_quic_acks) {
+      auto it = ep.sent.find(num);
+      if (it == ep.sent.end()) {
+        continue;
+      }
+      newly_acked = true;
+      ep.largest_acked = std::max(ep.largest_acked, num);
+      ep.bytes_in_flight -= it->second.payload;
+      if (!it->second.retransmission) {
+        const TimeUs sample = sim_->Now() - it->second.send_time;
+        ep.srtt = ep.srtt == 0 ? sample : (7 * ep.srtt + sample) / 8;
+        ep.rto = std::clamp<TimeUs>(2 * ep.srtt, config_.min_rto, config_.max_rto);
+      }
+      if (ep.cwnd < ep.ssthresh) {
+        ep.cwnd += static_cast<double>(it->second.payload);
+      } else {
+        ep.cwnd += static_cast<double>(kQuicMaxPayload) *
+                   static_cast<double>(it->second.payload) / ep.cwnd;
+      }
+      ep.sent.erase(it);
+    }
+    if (newly_acked) {
+      DetectLosses(ep);
+      if (ep.rto_event != 0) {
+        sim_->Cancel(ep.rto_event);
+        ep.rto_event = 0;
+      }
+      if (!ep.sent.empty()) {
+        ArmRto(ep);
+      }
+      PumpSend(ep);
+    }
+  }
+
+  // Process stream data.
+  if (!packet.sim_quic_frames.empty()) {
+    for (const auto& frame : packet.sim_quic_frames) {
+      StreamRecv& rs = ep.recv_streams[frame.stream_id];
+      rs.received.Add(frame.offset, frame.offset + static_cast<uint64_t>(frame.len));
+      if (!rs.completed && rs.expected > 0 &&
+          rs.received.ContiguousPrefix() >= rs.expected) {
+        rs.completed = true;
+        OnStreamComplete(ep, frame.stream_id);
+      } else if (ep.is_client && !rs.completed && frame.stream_id != 0 &&
+                 callbacks_.on_progress) {
+        callbacks_.on_progress(frame.stream_id,
+                               static_cast<Bytes>(std::min<uint64_t>(
+                                   rs.received.ContiguousPrefix(), rs.expected)),
+                               static_cast<Bytes>(rs.expected));
+      }
+    }
+    // Retransmittable packet: schedule an acknowledgment.
+    ep.pending_acks.push_back(packet.quic_packet_number);
+    if (ep.is_client) {
+      ++ep.packets_since_max_data;
+    }
+    if (ep.pending_acks.size() >= 2) {
+      FlushAcks(ep, /*allow_standalone=*/true);
+    } else if (ep.ack_event == 0) {
+      ep.ack_event = sim_->ScheduleAfter(config_.ack_delay, [this, &ep] {
+        ep.ack_event = 0;
+        FlushAcks(ep, /*allow_standalone=*/true);
+      });
+    }
+  }
+}
+
+void QuicConnection::DeliverToClient(const Packet& packet) { OnPacket(client_, packet); }
+
+void QuicConnection::DeliverToServer(const Packet& packet) { OnPacket(server_, packet); }
+
+}  // namespace csi::transport

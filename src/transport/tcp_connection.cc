@@ -1,0 +1,341 @@
+#include "src/transport/tcp_connection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/transport/tls.h"
+
+namespace csi::transport {
+
+using net::kTcpMss;
+using net::Packet;
+
+TcpTlsConnection::TcpTlsConnection(sim::Simulator* sim, TcpConfig config,
+                                   net::PacketSink client_out, net::PacketSink server_out,
+                                   ConnectionCallbacks callbacks)
+    : sim_(sim),
+      config_(std::move(config)),
+      client_out_(std::move(client_out)),
+      server_out_(std::move(server_out)),
+      callbacks_(std::move(callbacks)) {
+  uplink_.is_client = true;
+  downlink_.is_client = false;
+  uplink_.cwnd = static_cast<double>(config_.initial_cwnd);
+  downlink_.cwnd = static_cast<double>(config_.initial_cwnd);
+}
+
+Packet TcpTlsConnection::MakePacket(bool from_client, Bytes payload) {
+  Packet p;
+  p.flow_id = config_.flow_id;
+  p.from_client = from_client;
+  p.transport = net::Transport::kTcp;
+  p.client_ip = config_.client_ip;
+  p.server_ip = config_.server_ip;
+  p.client_port = config_.client_port;
+  p.server_port = config_.server_port;
+  p.payload = payload;
+  return p;
+}
+
+void TcpTlsConnection::Connect() {
+  handshake_stage_ = 1;
+  client_out_(MakePacket(/*from_client=*/true, 0));  // SYN
+  // SYN / SYN-ACK carry no stream data, so the data-path RTO cannot recover
+  // them; retry until the handshake advances.
+  ScheduleSynRetry();
+}
+
+void TcpTlsConnection::ScheduleSynRetry() {
+  sim_->ScheduleAfter(kUsPerSec, [this] {
+    if (handshake_stage_ == 1) {
+      client_out_(MakePacket(/*from_client=*/true, 0));
+      ScheduleSynRetry();
+    }
+  });
+}
+
+void TcpTlsConnection::QueueMessage(Half& half, uint64_t exchange_id, Bytes app_bytes,
+                                    Bytes wire_bytes, bool carries_sni) {
+  Half::Message msg;
+  msg.exchange_id = exchange_id;
+  msg.app_bytes = app_bytes;
+  msg.wire_start = half.stream_end;
+  msg.wire_end = half.stream_end + static_cast<uint64_t>(wire_bytes);
+  msg.carries_sni = carries_sni;
+  half.stream_end = msg.wire_end;
+  half.messages.push_back(msg);
+  TrySend(half);
+}
+
+uint64_t TcpTlsConnection::SendRequest(Bytes app_bytes) {
+  const uint64_t id = next_exchange_id_++;
+  pending_response_order_.push_back(id);
+  QueueMessage(uplink_, id, app_bytes, TlsWrappedSize(app_bytes), /*carries_sni=*/false);
+  return id;
+}
+
+void TcpTlsConnection::SendResponse(uint64_t exchange_id, Bytes app_bytes) {
+  ready_responses_[exchange_id] = app_bytes;
+  // HTTP/1.1: responses leave in request order.
+  while (!pending_response_order_.empty()) {
+    auto it = ready_responses_.find(pending_response_order_.front());
+    if (it == ready_responses_.end()) {
+      break;
+    }
+    const Bytes total_app = it->second + config_.response_header_bytes;
+    QueueMessage(downlink_, it->first, total_app, TlsWrappedSize(total_app),
+                 /*carries_sni=*/false);
+    ready_responses_.erase(it);
+    pending_response_order_.pop_front();
+  }
+}
+
+void TcpTlsConnection::TrySend(Half& half) {
+  while (half.snd_nxt < half.stream_end) {
+    const Bytes len =
+        std::min<Bytes>(kTcpMss, static_cast<Bytes>(half.stream_end - half.snd_nxt));
+    if (static_cast<double>(half.FlightBytes() + len) > half.cwnd) {
+      break;
+    }
+    EmitSegment(half, half.snd_nxt, len, /*retransmission=*/false);
+    half.snd_nxt += static_cast<uint64_t>(len);
+  }
+}
+
+void TcpTlsConnection::EmitSegment(Half& half, uint64_t seq, Bytes len, bool retransmission) {
+  Packet p = MakePacket(half.is_client, len);
+  p.tcp_seq = seq;
+  Half& other = half.is_client ? downlink_ : uplink_;
+  p.tcp_ack = other.rcv_nxt;
+  p.debug_is_retransmission = retransmission;
+  // The SNI rides in the ClientHello: the first uplink handshake bytes.
+  if (half.is_client && seq == 0 && handshake_stage_ <= 2) {
+    p.sni = config_.sni;
+  }
+  auto [it, inserted] = half.inflight.try_emplace(seq);
+  it->second.len = len;
+  it->second.send_time = sim_->Now();
+  if (!inserted || retransmission) {
+    it->second.retransmitted = true;
+  }
+  ArmRto(half);
+  (half.is_client ? client_out_ : server_out_)(p);
+}
+
+void TcpTlsConnection::ArmRto(Half& half) {
+  if (half.rto_event != 0) {
+    return;
+  }
+  half.rto_event = sim_->ScheduleAfter(half.rto, [this, &half] {
+    half.rto_event = 0;
+    OnRto(half);
+  });
+}
+
+void TcpTlsConnection::OnRto(Half& half) {
+  if (half.inflight.empty()) {
+    return;
+  }
+  const Bytes flight = static_cast<Bytes>(half.snd_nxt - half.snd_una);
+  half.ssthresh = std::max(static_cast<double>(flight) / 2.0, 2.0 * kTcpMss);
+  half.cwnd = 1.0 * kTcpMss;
+  half.rto = std::min<TimeUs>(half.rto * 2, config_.max_rto);
+  half.in_recovery = true;
+  half.recovery_end = half.snd_nxt;
+  const auto first = half.inflight.begin();
+  EmitSegment(half, first->first, first->second.len, /*retransmission=*/true);
+}
+
+void TcpTlsConnection::RepairHoles(Half& half) {
+  if (half.highest_sacked == 0) {
+    return;
+  }
+  // Retransmit unSACKed segments below the highest SACKed byte, at most two
+  // per ack event and not more often than once per RTT per segment.
+  int budget = 2;
+  const TimeUs now = sim_->Now();
+  const TimeUs min_gap = std::max<TimeUs>(half.srtt, 10 * kUsPerMs);
+  for (auto& [seq, entry] : half.inflight) {
+    if (budget == 0 || seq >= half.highest_sacked) {
+      break;
+    }
+    if (entry.sacked || now - entry.send_time < min_gap) {
+      continue;
+    }
+    EmitSegment(half, seq, entry.len, /*retransmission=*/true);
+    --budget;
+  }
+}
+
+void TcpTlsConnection::OnAck(Half& half, const net::Packet& packet) {
+  const uint64_t ack = packet.tcp_ack;
+  bool sack_progress = false;
+  // Process SACK blocks: segments inside advertised ranges left the network.
+  for (const auto& [lo, hi] : packet.sim_tcp_sack) {
+    for (auto it = half.inflight.lower_bound(lo);
+         it != half.inflight.end() && it->first < hi; ++it) {
+      if (!it->second.sacked &&
+          it->first + static_cast<uint64_t>(it->second.len) <= hi) {
+        it->second.sacked = true;
+        half.sacked_bytes += it->second.len;
+        sack_progress = true;
+      }
+    }
+    half.highest_sacked = std::max(half.highest_sacked, hi);
+  }
+
+  if (ack > half.snd_una) {
+    // New data acknowledged.
+    bool rtt_sampled = false;
+    auto it = half.inflight.begin();
+    while (it != half.inflight.end() && it->first < ack) {
+      if (!rtt_sampled && !it->second.retransmitted) {
+        const TimeUs sample = sim_->Now() - it->second.send_time;
+        half.srtt = half.srtt == 0 ? sample : (7 * half.srtt + sample) / 8;
+        half.rto = std::clamp<TimeUs>(2 * half.srtt, config_.min_rto, config_.max_rto);
+        rtt_sampled = true;
+      }
+      const Bytes acked = it->second.len;
+      if (it->second.sacked) {
+        half.sacked_bytes -= acked;
+      }
+      if (half.cwnd < half.ssthresh) {
+        half.cwnd += static_cast<double>(acked);  // slow start
+      } else {
+        half.cwnd += static_cast<double>(kTcpMss) * static_cast<double>(kTcpMss) / half.cwnd;
+      }
+      it = half.inflight.erase(it);
+    }
+    half.snd_una = ack;
+    half.dup_acks = 0;
+    if (half.highest_sacked <= ack) {
+      half.highest_sacked = 0;
+    }
+    if (half.in_recovery && ack >= half.recovery_end) {
+      half.in_recovery = false;
+    }
+    RepairHoles(half);
+    if (half.rto_event != 0) {
+      sim_->Cancel(half.rto_event);
+      half.rto_event = 0;
+    }
+    if (!half.inflight.empty()) {
+      ArmRto(half);
+    }
+    TrySend(half);
+  } else if (ack == half.snd_una && half.snd_nxt > half.snd_una &&
+             (packet.payload == 0 || sack_progress)) {
+    ++half.dup_acks;
+    if (half.dup_acks == 3 && !half.in_recovery) {
+      half.ssthresh = std::max(static_cast<double>(half.FlightBytes()) / 2.0, 2.0 * kTcpMss);
+      half.cwnd = half.ssthresh;
+      half.in_recovery = true;
+      half.recovery_end = half.snd_nxt;
+      auto it = half.inflight.find(half.snd_una);
+      if (it != half.inflight.end() && !it->second.sacked) {
+        EmitSegment(half, it->first, it->second.len, /*retransmission=*/true);
+      }
+    } else if (half.in_recovery) {
+      RepairHoles(half);
+      TrySend(half);
+    }
+  }
+}
+
+void TcpTlsConnection::SendPureAck(Half& data_half) {
+  // ACK for `data_half`'s data travels in the opposite direction.
+  const bool from_client = !data_half.is_client;
+  Packet p = MakePacket(from_client, 0);
+  Half& own_data = from_client ? uplink_ : downlink_;
+  p.tcp_seq = own_data.snd_nxt;
+  p.tcp_ack = data_half.rcv_nxt;
+  // SACK: advertise out-of-order ranges above the cumulative ack.
+  for (const auto& [lo, hi] : data_half.received.Ranges()) {
+    if (hi <= data_half.rcv_nxt) {
+      continue;
+    }
+    p.sim_tcp_sack.emplace_back(std::max(lo, data_half.rcv_nxt), hi);
+    if (p.sim_tcp_sack.size() >= 16) {
+      break;
+    }
+  }
+  (from_client ? client_out_ : server_out_)(p);
+}
+
+void TcpTlsConnection::DeliverAppProgress(Half& half) {
+  while (!half.messages.empty() && half.rcv_nxt >= half.messages.front().wire_end) {
+    const Half::Message msg = half.messages.front();
+    half.messages.pop_front();
+    if (msg.exchange_id != 0) {
+      if (half.is_client) {
+        if (callbacks_.on_request) {
+          callbacks_.on_request(msg.exchange_id, msg.app_bytes);
+        }
+      } else {
+        if (callbacks_.on_response) {
+          callbacks_.on_response(msg.exchange_id);
+        }
+      }
+      continue;
+    }
+    // Handshake progression.
+    if (half.is_client && handshake_stage_ == 2) {
+      // Server got the ClientHello: send the server flight.
+      handshake_stage_ = 3;
+      QueueMessage(downlink_, 0, 0, kTlsServerFlightBytes, /*carries_sni=*/false);
+    } else if (!half.is_client && handshake_stage_ == 3) {
+      // Client got the server flight: send Finished; connection usable.
+      handshake_stage_ = 4;
+      QueueMessage(uplink_, 0, 0, kTlsClientFinishedBytes, /*carries_sni=*/false);
+      ready_ = true;
+      if (callbacks_.on_ready) {
+        callbacks_.on_ready();
+      }
+    }
+  }
+  // Partial-progress report for the (client-side) response being received.
+  if (!half.is_client && !half.messages.empty() && callbacks_.on_progress) {
+    const Half::Message& msg = half.messages.front();
+    if (msg.exchange_id != 0 && half.rcv_nxt > msg.wire_start) {
+      const Bytes received = std::min<Bytes>(
+          msg.app_bytes, static_cast<Bytes>(half.rcv_nxt - msg.wire_start));
+      callbacks_.on_progress(msg.exchange_id, received, msg.app_bytes);
+    }
+  }
+}
+
+void TcpTlsConnection::OnPacket(Half& data_half, const net::Packet& packet) {
+  // The ACK field acknowledges *our* data flowing the other way.
+  Half& our_send_half = data_half.is_client ? downlink_ : uplink_;
+  (void)our_send_half;
+  if (packet.payload > 0) {
+    data_half.received.Add(packet.tcp_seq, packet.tcp_seq + static_cast<uint64_t>(packet.payload));
+    data_half.rcv_nxt = data_half.received.ContiguousPrefix();
+    SendPureAck(data_half);
+    DeliverAppProgress(data_half);
+  }
+}
+
+void TcpTlsConnection::DeliverToClient(const net::Packet& packet) {
+  if (handshake_stage_ == 1 && packet.payload == 0) {
+    // SYN-ACK: reply with the final handshake ACK + ClientHello.
+    handshake_stage_ = 2;
+    client_out_(MakePacket(/*from_client=*/true, 0));
+    QueueMessage(uplink_, 0, 0, kTlsClientHelloBytes, /*carries_sni=*/true);
+    return;
+  }
+  OnAck(uplink_, packet);
+  OnPacket(downlink_, packet);
+}
+
+void TcpTlsConnection::DeliverToServer(const net::Packet& packet) {
+  if (handshake_stage_ == 1 && packet.payload == 0 && uplink_.stream_end == 0) {
+    // SYN: reply SYN-ACK.
+    server_out_(MakePacket(/*from_client=*/false, 0));
+    return;
+  }
+  OnAck(downlink_, packet);
+  OnPacket(uplink_, packet);
+}
+
+}  // namespace csi::transport

@@ -1,0 +1,145 @@
+// HTTPS transport: TLS 1.3 over a reduced-order but packet-accurate TCP.
+//
+// What CSI needs from this model (paper §2, §3.2, §5.3.1) and what we
+// therefore reproduce faithfully:
+//   * data segments carry real sequence numbers, and a retransmission reuses
+//     the original sequence number — so an observer can de-duplicate;
+//   * pure ACKs have zero payload, so uplink request packets (payload > 0)
+//     are distinguishable by sequence advance;
+//   * TLS record framing inflates app bytes by ~0.13%, and HTTP headers ride
+//     inside the same stream — bounding the size-estimation error k at ~1%;
+//   * responses on one connection are strictly serialized (no multiplexing):
+//     HTTP/1.1 semantics, enforced here by FIFO response ordering;
+//   * congestion control (slow start + AIMD, fast retransmit, RTO) produces
+//     realistic throughput dynamics over the emulated links.
+
+#ifndef CSI_SRC_TRANSPORT_TCP_CONNECTION_H_
+#define CSI_SRC_TRANSPORT_TCP_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/transport/connection.h"
+#include "src/transport/interval_set.h"
+
+namespace csi::transport {
+
+struct TcpConfig {
+  uint64_t flow_id = 1;
+  uint32_t client_ip = 0x0A000002;  // 10.0.0.2
+  uint32_t server_ip = 0xC0A80001;
+  uint16_t client_port = 50000;
+  uint16_t server_port = 443;
+  std::string sni = "cdn.example";
+  Bytes initial_cwnd = 10 * net::kTcpMss;
+  TimeUs min_rto = 200 * kUsPerMs;
+  TimeUs max_rto = 3 * kUsPerSec;
+  // Fixed per-request HTTP header overhead modeled inside the TLS stream.
+  Bytes response_header_bytes = 160;
+};
+
+class TcpTlsConnection : public Connection {
+ public:
+  // `client_out` carries packets from the client endpoint into the uplink
+  // path; `server_out` from the server endpoint into the downlink path.
+  TcpTlsConnection(sim::Simulator* sim, TcpConfig config, net::PacketSink client_out,
+                   net::PacketSink server_out, ConnectionCallbacks callbacks);
+
+  // Wire -> endpoint delivery (invoked by the network paths).
+  void DeliverToClient(const net::Packet& packet);
+  void DeliverToServer(const net::Packet& packet);
+
+  void Connect() override;
+  uint64_t SendRequest(Bytes app_bytes) override;
+  void SendResponse(uint64_t exchange_id, Bytes app_bytes) override;
+  bool ready() const override { return ready_; }
+
+  const TcpConfig& config() const { return config_; }
+
+ private:
+  // Per-direction sender/receiver state. "owner is client" == uplink data.
+  struct Half {
+    bool is_client = false;
+
+    // --- Sender ---
+    struct Message {
+      uint64_t exchange_id = 0;       // 0 for handshake-internal messages
+      Bytes app_bytes = 0;
+      uint64_t wire_start = 0;
+      uint64_t wire_end = 0;
+      bool carries_sni = false;
+    };
+    std::deque<Message> messages;  // not yet fully delivered to the peer app
+    uint64_t stream_end = 0;       // total wire bytes queued so far
+    uint64_t snd_una = 0;
+    uint64_t snd_nxt = 0;
+    double cwnd = 0;
+    double ssthresh = 1e18;
+    int dup_acks = 0;
+    uint64_t recovery_end = 0;  // snd_nxt when loss was detected
+    bool in_recovery = false;
+    // seq -> (len, send_time, was_retransmitted, sacked)
+    struct InFlight {
+      Bytes len = 0;
+      TimeUs send_time = 0;
+      bool retransmitted = false;
+      bool sacked = false;  // receiver reported it via SACK
+    };
+    std::map<uint64_t, InFlight> inflight;
+    Bytes sacked_bytes = 0;          // total bytes currently marked sacked
+    uint64_t highest_sacked = 0;     // highest sacked end-seq
+
+    // Bytes actually outstanding in the network (SACKed data has left it).
+    Bytes FlightBytes() const {
+      return static_cast<Bytes>(snd_nxt - snd_una) - sacked_bytes;
+    }
+    uint64_t rto_event = 0;
+    TimeUs srtt = 0;
+    TimeUs rto = kUsPerSec;
+
+    // --- Receiver state for the *opposite* direction's data ---
+    uint64_t rcv_nxt = 0;
+    IntervalSet received;
+  };
+
+  void QueueMessage(Half& half, uint64_t exchange_id, Bytes app_bytes, Bytes wire_bytes,
+                    bool carries_sni);
+  void TrySend(Half& half);
+  void EmitSegment(Half& half, uint64_t seq, Bytes len, bool retransmission);
+  void OnPacket(Half& data_half, const net::Packet& packet);
+  void OnAck(Half& half, const net::Packet& packet);
+  // Retransmits unSACKed holes below the highest SACKed sequence.
+  void RepairHoles(Half& half);
+  void ArmRto(Half& half);
+  void ScheduleSynRetry();
+  void OnRto(Half& half);
+  void SendPureAck(Half& receiver_side);
+  void DeliverAppProgress(Half& half);
+  net::Packet MakePacket(bool from_client, Bytes payload);
+
+  sim::Simulator* sim_;
+  TcpConfig config_;
+  net::PacketSink client_out_;
+  net::PacketSink server_out_;
+  ConnectionCallbacks callbacks_;
+
+  Half uplink_;    // client -> server data
+  Half downlink_;  // server -> client data
+
+  bool ready_ = false;
+  int handshake_stage_ = 0;  // 0 idle, 1 syn sent, 2 CH sent, 3 server flight, 4 done
+  uint64_t next_exchange_id_ = 1;
+
+  // HTTP/1.1 response serialization: responses go out in request order.
+  std::deque<uint64_t> pending_response_order_;
+  std::map<uint64_t, Bytes> ready_responses_;
+};
+
+}  // namespace csi::transport
+
+#endif  // CSI_SRC_TRANSPORT_TCP_CONNECTION_H_

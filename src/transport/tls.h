@@ -1,0 +1,37 @@
+// TLS record-layer size accounting.
+//
+// We never encrypt real bytes; what matters for CSI is how TLS inflates the
+// byte counts a passive observer measures. Application data is carried in
+// records of at most 16 KiB plaintext, each adding a 5-byte record header and
+// a 16-byte AEAD tag. This ~0.13% inflation (plus HTTP response headers) is
+// the source of the paper's k = 1% HTTPS estimation-error bound (§3.2).
+
+#ifndef CSI_SRC_TRANSPORT_TLS_H_
+#define CSI_SRC_TRANSPORT_TLS_H_
+
+#include "src/common/units.h"
+
+namespace csi::transport {
+
+inline constexpr Bytes kTlsMaxRecordPayload = 16 * 1024;
+inline constexpr Bytes kTlsRecordHeaderBytes = 5;
+inline constexpr Bytes kTlsAeadTagBytes = 16;
+inline constexpr Bytes kTlsPerRecordOverhead = kTlsRecordHeaderBytes + kTlsAeadTagBytes;
+
+// Handshake flight sizes (wire bytes), approximating TLS 1.3.
+inline constexpr Bytes kTlsClientHelloBytes = 330;   // carries the SNI
+inline constexpr Bytes kTlsServerFlightBytes = 3200; // ServerHello..Finished, cert chain
+inline constexpr Bytes kTlsClientFinishedBytes = 90;
+
+// Wire bytes of `app_bytes` of application data after record framing.
+constexpr Bytes TlsWrappedSize(Bytes app_bytes) {
+  if (app_bytes <= 0) {
+    return 0;
+  }
+  const Bytes records = (app_bytes + kTlsMaxRecordPayload - 1) / kTlsMaxRecordPayload;
+  return app_bytes + records * kTlsPerRecordOverhead;
+}
+
+}  // namespace csi::transport
+
+#endif  // CSI_SRC_TRANSPORT_TLS_H_

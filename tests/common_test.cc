@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace csi {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(SecondsToUs(1.0), kUsPerSec);
+  EXPECT_EQ(SecondsToUs(0.5), 500 * kUsPerMs);
+  EXPECT_DOUBLE_EQ(UsToSeconds(2 * kUsPerSec), 2.0);
+}
+
+TEST(Units, TransmissionTime) {
+  // 1500 bytes at 12 Mbps = 1 ms.
+  EXPECT_EQ(TransmissionTimeUs(1500, 12 * kMbps), 1 * kUsPerMs);
+  EXPECT_EQ(TransmissionTimeUs(1500, 0), 0);
+}
+
+TEST(Units, BytesInTime) {
+  EXPECT_EQ(BytesInTime(8 * kMbps, kUsPerSec), 1 * kMB);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.2);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Chance(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // Child stream should differ from the parent's continued stream.
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(RunningStats, MinMaxCount) {
+  RunningStats s;
+  s.Add(3.0);
+  s.Add(-1.0);
+  s.Add(7.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, VarianceMatchesDefinition) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 95), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.has_value());
+  for (int i = 0; i < 30; ++i) {
+    e.Add(8.0);
+  }
+  EXPECT_NEAR(e.value(), 8.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleTaken) {
+  Ewma e(0.1);
+  e.Add(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"a", "long-header", "c"});
+  t.AddRow({"1", "2", "3"});
+  t.AddRow({"wide-cell", "x"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  // All rows share the same width.
+  size_t first_nl = out.find('\n');
+  size_t second_nl = out.find('\n', first_nl + 1);
+  EXPECT_EQ(first_nl, out.find('\n', second_nl + 1) - second_nl - 1);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(FormatBytes(1500), "1.50 KB");
+  EXPECT_EQ(FormatBytes(2.2e6), "2.20 MB");
+  EXPECT_EQ(FormatBytes(12), "12.00 B");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace csi

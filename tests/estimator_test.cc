@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/csi/flow_classifier.h"
+#include "src/csi/size_estimator.h"
+#include "src/testbed/experiment.h"
+
+namespace csi::infer {
+namespace {
+
+using testbed::MakeAssetForDesign;
+using testbed::RunStreamingSession;
+using testbed::SessionConfig;
+
+// End-to-end Property (1) check: run a session, align exchanges with ground
+// truth by request timestamp, verify S <= S~ <= (1+k)S for every chunk.
+struct EstimateCheck {
+  int checked = 0;
+  double max_ratio = 0.0;
+  double min_ratio = 10.0;
+};
+
+EstimateCheck CheckEstimates(DesignType design, double loss, uint64_t seed) {
+  const media::Manifest manifest = MakeAssetForDesign(design, 1, 8 * 60 * kUsPerSec);
+  SessionConfig s;
+  s.design = design;
+  s.manifest = &manifest;
+  s.downlink = nettrace::StableTrace("s", 7 * kMbps);
+  s.downlink_loss = loss;
+  s.duration = 8 * 60 * kUsPerSec;
+  s.seed = seed;
+  const auto result = RunStreamingSession(s);
+  const auto flows = ClassifyMediaFlows(result.capture, "cdn.example");
+  EXPECT_EQ(flows.size(), 1u);
+  const bool quic = IsQuic(design);
+  const auto exchanges = EstimateExchanges(flows[0].packets, quic);
+  std::map<TimeUs, Bytes> gt_by_time;
+  for (const auto& d : result.downloads) {
+    gt_by_time[d.request_time] = d.bytes;
+  }
+  EstimateCheck check;
+  if (!quic) {
+    for (const auto& ex : exchanges) {
+      auto it = gt_by_time.find(ex.request_time);
+      if (it == gt_by_time.end()) {
+        continue;  // manifest / handshake exchange
+      }
+      const double ratio =
+          static_cast<double>(ex.estimated_size) / static_cast<double>(it->second);
+      check.max_ratio = std::max(check.max_ratio, ratio);
+      check.min_ratio = std::min(check.min_ratio, ratio);
+      ++check.checked;
+    }
+    return check;
+  }
+  // QUIC: a lost request ACK can trigger a request retransmission whose new
+  // packet splits an exchange in two (the inference handles it as a phantom).
+  // Validate the estimation primitive on ground-truth request windows
+  // instead: downlink payload between consecutive true requests.
+  std::vector<std::pair<TimeUs, Bytes>> gt(gt_by_time.begin(), gt_by_time.end());
+  for (size_t i = 0; i < gt.size(); ++i) {
+    const TimeUs begin = gt[i].first;
+    const TimeUs end = i + 1 < gt.size() ? gt[i + 1].first : -1;
+    const Bytes estimate = EstimateDownlinkBytes(flows[0].packets, /*quic=*/true, begin, end);
+    const double ratio = static_cast<double>(estimate) / static_cast<double>(gt[i].second);
+    check.max_ratio = std::max(check.max_ratio, ratio);
+    check.min_ratio = std::min(check.min_ratio, ratio);
+    ++check.checked;
+  }
+  return check;
+}
+
+class HttpsEstimateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HttpsEstimateTest, PropertyOneHoldsUnderLoss) {
+  const EstimateCheck check =
+      CheckEstimates(DesignType::kSH, GetParam(), 100 + static_cast<uint64_t>(GetParam() * 1e4));
+  EXPECT_GT(check.checked, 50);
+  EXPECT_GE(check.min_ratio, 1.0);   // never under-estimates
+  EXPECT_LE(check.max_ratio, 1.01);  // k = 1% for HTTPS
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, HttpsEstimateTest, ::testing::Values(0.0, 0.002, 0.01));
+
+class QuicEstimateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuicEstimateTest, PropertyOneHoldsUnderLoss) {
+  const EstimateCheck check =
+      CheckEstimates(DesignType::kCQ, GetParam(), 200 + static_cast<uint64_t>(GetParam() * 1e4));
+  EXPECT_GT(check.checked, 50);
+  EXPECT_GE(check.min_ratio, 1.0);   // never under-estimates
+  EXPECT_LE(check.max_ratio, 1.05);  // k = 5% for QUIC
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, QuicEstimateTest, ::testing::Values(0.0, 0.002, 0.01));
+
+TEST(DetectRequests, HttpsCountsMediaRequestsPlusHandshake) {
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kCH, 0, 5 * 60 * kUsPerSec);
+  SessionConfig s;
+  s.design = DesignType::kCH;
+  s.manifest = &manifest;
+  s.downlink = nettrace::StableTrace("s", 10 * kMbps);
+  s.duration = 5 * 60 * kUsPerSec;
+  s.seed = 3;
+  const auto result = RunStreamingSession(s);
+  const auto flows = ClassifyMediaFlows(result.capture, "cdn.example");
+  const auto requests = DetectRequests(flows[0].packets, /*quic=*/false);
+  // ClientHello + (Finished+manifest merged) + one request per chunk.
+  EXPECT_EQ(requests.size(), result.downloads.size() + 2);
+  EXPECT_TRUE(requests[0].carries_sni);
+  for (size_t i = 1; i < requests.size(); ++i) {
+    EXPECT_FALSE(requests[i].carries_sni);
+    EXPECT_GE(requests[i].time, requests[i - 1].time);
+  }
+}
+
+TEST(DetectRequests, QuicThresholdSeparatesAcksFromRequests) {
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kCQ, 0, 5 * 60 * kUsPerSec);
+  SessionConfig s;
+  s.design = DesignType::kCQ;
+  s.manifest = &manifest;
+  s.downlink = nettrace::StableTrace("s", 10 * kMbps);
+  s.duration = 5 * 60 * kUsPerSec;
+  s.seed = 4;
+  const auto result = RunStreamingSession(s);
+  const auto flows = ClassifyMediaFlows(result.capture, "cdn.example");
+  const auto requests = DetectRequests(flows[0].packets, /*quic=*/true);
+  // Initial + manifest + chunk requests; uplink retransmissions may add a
+  // few phantoms but never remove any.
+  EXPECT_GE(requests.size(), result.downloads.size() + 2);
+  EXPECT_LE(requests.size(), result.downloads.size() + 6);
+}
+
+TEST(FlowClassifier, SelectsFlowBySniSuffix) {
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kCH, 0, 2 * 60 * kUsPerSec);
+  SessionConfig s;
+  s.design = DesignType::kCH;
+  s.manifest = &manifest;
+  s.downlink = nettrace::StableTrace("s", 10 * kMbps);
+  s.duration = 2 * 60 * kUsPerSec;
+  s.seed = 5;
+  const auto result = RunStreamingSession(s);
+  EXPECT_EQ(ClassifyMediaFlows(result.capture, "cdn.example").size(), 1u);
+  EXPECT_EQ(ClassifyMediaFlows(result.capture, "example").size(), 1u);  // suffix match
+  EXPECT_EQ(ClassifyMediaFlows(result.capture, "other.service").size(), 0u);
+}
+
+TEST(FlowClassifier, FallsBackToServerIpWithoutSni) {
+  // Build a trace with the SNI stripped (e.g. resumption without SNI).
+  capture::CaptureTrace trace;
+  capture::PacketRecord r;
+  r.transport = net::Transport::kTcp;
+  r.client_ip = 1;
+  r.server_ip = 42;
+  r.client_port = 5000;
+  r.server_port = 443;
+  r.from_client = true;
+  r.payload = 100;
+  trace.push_back(r);
+  EXPECT_EQ(ClassifyMediaFlows(trace, "cdn.example").size(), 0u);
+  EXPECT_EQ(ClassifyMediaFlows(trace, "cdn.example", {42u}).size(), 1u);
+}
+
+TEST(EstimateDownlinkBytes, WindowBoundariesAreHalfOpenRight) {
+  capture::CaptureTrace flow;
+  auto add = [&flow](TimeUs t, Bytes payload, uint64_t seq) {
+    capture::PacketRecord r;
+    r.timestamp = t;
+    r.from_client = false;
+    r.payload = payload;
+    r.tcp_seq = seq;
+    flow.push_back(r);
+  };
+  add(100, 1000, 0);
+  add(200, 1000, 1000);
+  add(300, 1000, 2000);
+  // Window (100, 300] excludes the packet at exactly t=100 (it belongs to the
+  // completing previous download) and includes t=300.
+  EXPECT_EQ(EstimateDownlinkBytes(flow, false, 100, 300), 2000);
+  // Duplicate sequence number = retransmission, dropped.
+  add(400, 1000, 2000);
+  EXPECT_EQ(EstimateDownlinkBytes(flow, false, 100, 500), 2000);
+}
+
+}  // namespace
+}  // namespace csi::infer

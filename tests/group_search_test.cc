@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "src/csi/group_search.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+namespace {
+
+// 3 video tracks x 8 positions, distinct sizes, 1 CBR audio track of 60000.
+media::Manifest GroupManifest() {
+  media::Manifest m;
+  m.asset_id = "grp";
+  m.host = "cdn.example";
+  for (int t = 0; t < 3; ++t) {
+    media::Track track;
+    track.name = "T" + std::to_string(t);
+    track.nominal_bitrate = (t + 1) * 600 * kKbps;
+    for (int i = 0; i < 8; ++i) {
+      // Non-linear spacing so distinct track combinations never sum equal.
+      track.chunks.push_back(media::Chunk{100000 * (1 << (2 * t)) + 7919 * i + 997 * t * i,
+                                          5 * kUsPerSec});
+    }
+    m.video_tracks.push_back(track);
+  }
+  media::Track audio;
+  audio.type = media::MediaType::kAudio;
+  audio.name = "audio";
+  for (int i = 0; i < 8; ++i) {
+    audio.chunks.push_back(media::Chunk{60000, 5 * kUsPerSec});
+  }
+  m.audio_tracks.push_back(audio);
+  return m;
+}
+
+TrafficGroup MakeGroup(int requests, Bytes estimated, TimeUs start = 0) {
+  TrafficGroup g;
+  for (int i = 0; i < requests; ++i) {
+    g.requests.push_back(DetectedRequest{start, false});
+  }
+  g.start_time = start;
+  g.end_time = start + 5 * kUsPerSec;
+  g.estimated_total = estimated;
+  return g;
+}
+
+// Estimate with small overhead, inside the k = 5% window.
+Bytes Est(Bytes true_total) { return true_total + true_total / 200; }  // +0.5%
+
+GroupSearchConfig Config() {
+  GroupSearchConfig config;
+  config.k = 0.05;
+  config.expected_overhead = 0.005;
+  config.expected_fixed_overhead = 0;
+  return config;
+}
+
+TEST(EnumerateGroupCandidates, SingleVideoPlusAudioPair) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  // Group: video (t1, i3) + one audio chunk.
+  const Bytes truth = db.VideoSize(1, 3) + 60000;
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(2, Est(truth)), db, Config(), {}, 3, 3, &truncated);
+  ASSERT_FALSE(candidates.empty());
+  // The top-ranked candidate is the ground truth.
+  EXPECT_EQ(candidates[0].video_start, 3);
+  ASSERT_EQ(candidates[0].tracks.size(), 1u);
+  EXPECT_EQ(candidates[0].tracks[0], 1);
+  EXPECT_EQ(candidates[0].audio_count, 1);
+}
+
+TEST(EnumerateGroupCandidates, StartRangeConstrains) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  const Bytes truth = db.VideoSize(0, 5) + 60000;
+  bool truncated = false;
+  // Range [5,5] finds it; range [0,2] cannot.
+  EXPECT_FALSE(
+      EnumerateGroupCandidates(MakeGroup(2, Est(truth)), db, Config(), {}, 5, 5, &truncated)
+          .empty());
+  const auto wrong_range =
+      EnumerateGroupCandidates(MakeGroup(2, Est(truth)), db, Config(), {}, 0, 2, &truncated);
+  for (const auto& c : wrong_range) {
+    EXPECT_TRUE(c.wildcard || c.video_start < 0 || (c.video_start >= 0 && c.video_start <= 2));
+  }
+}
+
+TEST(EnumerateGroupCandidates, MultiChunkRun) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  // Videos (t0,i2),(t2,i3),(t1,i4) + 3 audio.
+  const Bytes truth = db.VideoSize(0, 2) + db.VideoSize(2, 3) + db.VideoSize(1, 4) + 3 * 60000;
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(6, Est(truth)), db, Config(), {}, 2, 2, &truncated);
+  ASSERT_FALSE(candidates.empty());
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (!c.wildcard && c.video_start == 2 && c.tracks == std::vector<int>{0, 2, 1} &&
+        c.audio_count == 3) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumerateGroupCandidates, AudioOnlyGroup) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(2, Est(120000)), db, Config(), {}, 0, 7, &truncated);
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (!c.wildcard && c.video_start < 0 && c.audio_count == 2) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumerateGroupCandidates, OversizedGroupBecomesWildcard) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  GroupSearchConfig config = Config();
+  config.max_group_requests = 4;
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(8, 10 * kMB), db, config, {}, 0, 7, &truncated);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_TRUE(candidates[0].wildcard);
+}
+
+TEST(EnumerateGroupCandidates, UnexplainableGroupBecomesWildcard) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(1, 33), db, Config(), {}, 0, 7, &truncated);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_TRUE(candidates[0].wildcard);
+}
+
+TEST(EnumerateGroupCandidates, PhantomRequestDeficit) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  // 3 requests but only 2 objects (one request was a retransmission).
+  const Bytes truth = db.VideoSize(1, 0) + 60000;
+  GroupSearchConfig config = Config();
+  config.max_phantom_requests = 1;
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(3, Est(truth)), db, config, {}, 0, 0, &truncated);
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (!c.wildcard && c.video_start == 0 && c.tracks.size() == 1 && c.audio_count == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumerateGroupCandidates, KnownOtherObjectConsumed) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  GroupSearchConfig config = Config();
+  config.other_object_sizes = {25000};  // e.g. the manifest
+  const Bytes truth = db.VideoSize(0, 0) + 25000;
+  bool truncated = false;
+  const auto candidates =
+      EnumerateGroupCandidates(MakeGroup(2, Est(truth)), db, config, {}, 0, 0, &truncated);
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (!c.wildcard && c.video_start == 0 && c.other_count == 1 && c.audio_count == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumerateGroupCandidates, DisplayConstraintPrunesTracks) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  const Bytes truth = db.VideoSize(1, 3) + 60000;
+  DisplayConstraints display;
+  display[3] = 2;  // screen says track 2 at index 3 -> truth (track 1) pruned
+  bool truncated = false;
+  const auto candidates = EnumerateGroupCandidates(MakeGroup(2, Est(truth)), db, Config(),
+                                                   display, 3, 3, &truncated);
+  for (const auto& c : candidates) {
+    if (!c.wildcard && c.video_start == 3 && !c.tracks.empty()) {
+      EXPECT_EQ(c.tracks[0], 2);
+    }
+  }
+}
+
+TEST(SearchGroupSequences, ChainsGroupsContiguously) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  std::vector<TrafficGroup> groups;
+  // Group 0: video i0 (t0) + audio; group 1: video i1,i2 (t1,t1) + 2 audio.
+  groups.push_back(MakeGroup(2, Est(db.VideoSize(0, 0) + 60000), 0));
+  groups.push_back(MakeGroup(
+      4, Est(db.VideoSize(1, 1) + db.VideoSize(1, 2) + 2 * 60000), 10 * kUsPerSec));
+  const auto result = SearchGroupSequences(groups, db, Config());
+  ASSERT_FALSE(result.sequences.empty());
+  // Top sequence is the ground truth.
+  const auto& slots = result.sequences[0].slots;
+  std::vector<std::pair<int, int>> video;
+  for (const auto& s : slots) {
+    if (s.kind == SlotKind::kVideo) {
+      video.emplace_back(s.chunk.track, s.chunk.index);
+    }
+  }
+  ASSERT_EQ(video.size(), 3u);
+  EXPECT_EQ(video[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(video[1], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(video[2], (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(result.group_sizes, (std::vector<int>{2, 4}));
+}
+
+TEST(SearchGroupSequences, WildcardGroupWidensButChainRecovers) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  std::vector<TrafficGroup> groups;
+  groups.push_back(MakeGroup(2, Est(db.VideoSize(0, 0) + 60000), 0));
+  groups.push_back(MakeGroup(2, 12345, 10 * kUsPerSec));  // unexplainable
+  // After a 2-request wildcard the next video index is in [1, 3]; this group
+  // pins it back to 2.
+  groups.push_back(MakeGroup(2, Est(db.VideoSize(2, 2) + 60000), 20 * kUsPerSec));
+  const auto result = SearchGroupSequences(groups, db, Config());
+  ASSERT_FALSE(result.sequences.empty());
+  bool found_recovery = false;
+  for (const auto& seq : result.sequences) {
+    for (const auto& s : seq.slots) {
+      if (s.kind == SlotKind::kVideo && s.chunk.index == 2 && s.chunk.track == 2) {
+        found_recovery = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_recovery);
+}
+
+TEST(CandidateCost, GroundTruthRanksAheadOfImpostors) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  GroupSearchConfig config = Config();
+  GroupCandidate truth;
+  truth.video_start = 0;
+  truth.tracks = {1};
+  truth.audio_count = 1;
+  truth.implied_total = db.VideoSize(1, 0) + 60000;
+  GroupCandidate impostor = truth;
+  impostor.tracks = {0};
+  impostor.implied_total = db.VideoSize(0, 0) + 60000;
+  const Bytes estimate = Est(truth.implied_total);
+  EXPECT_LT(CandidateCost(truth, estimate, 2, config),
+            CandidateCost(impostor, estimate, 2, config));
+}
+
+}  // namespace
+}  // namespace csi::infer

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/app/origin_server.h"
+#include "src/app/resource.h"
+#include "src/http/http_session.h"
+#include "src/media/encoder.h"
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace csi::http {
+namespace {
+
+// Minimal wiring: session across two delay-only links.
+struct Fixture {
+  sim::Simulator sim;
+  std::unique_ptr<net::Link> uplink;
+  std::unique_ptr<net::Link> downlink;
+  std::unique_ptr<HttpSession> session;
+
+  explicit Fixture(Protocol protocol, ServerHandler handler) {
+    net::LinkConfig link;
+    link.propagation_delay = 5 * kUsPerMs;
+    downlink = std::make_unique<net::Link>(
+        &sim, link, std::make_unique<net::NoLoss>(), Rng(1),
+        [this](const net::Packet& p) { session->DeliverToClient(p); });
+    uplink = std::make_unique<net::Link>(
+        &sim, link, std::make_unique<net::NoLoss>(), Rng(2),
+        [this](const net::Packet& p) { session->DeliverToServer(p); });
+    SessionConfig config;
+    config.protocol = protocol;
+    session = std::make_unique<HttpSession>(
+        &sim, config, [this](const net::Packet& p) { uplink->Send(p); },
+        [this](const net::Packet& p) { downlink->Send(p); }, std::move(handler));
+  }
+};
+
+TEST(HttpSession, GetReturnsBodyWithTiming) {
+  Fixture f(Protocol::kHttps, [](const std::string& tag) -> Bytes {
+    EXPECT_EQ(tag, "thing");
+    return 123456;
+  });
+  bool ready = false;
+  f.session->Connect([&] { ready = true; });
+  f.sim.RunUntil(kUsPerSec);
+  ASSERT_TRUE(ready);
+  FetchResult got;
+  f.session->Get("thing", 400, [&](const FetchResult& r) { got = r; });
+  f.sim.Run();
+  EXPECT_EQ(got.tag, "thing");
+  EXPECT_EQ(got.body_bytes, 123456);
+  EXPECT_GT(got.done_time, got.request_time);
+}
+
+TEST(HttpSession, WorksOverQuic) {
+  Fixture f(Protocol::kQuic, [](const std::string&) -> Bytes { return 55555; });
+  bool done = false;
+  f.session->Connect([] {});
+  f.sim.RunUntil(kUsPerSec);
+  f.session->Get("x", 400, [&](const FetchResult& r) {
+    EXPECT_EQ(r.body_bytes, 55555);
+    done = true;
+  });
+  f.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(HttpSession, ProgressCallbackStreamsBytes) {
+  Fixture f(Protocol::kHttps, [](const std::string&) -> Bytes { return 500 * kKB; });
+  f.session->Connect([] {});
+  f.sim.RunUntil(kUsPerSec);
+  Bytes last = 0;
+  f.session->Get(
+      "x", 400, [](const FetchResult&) {},
+      [&](Bytes received, Bytes total) {
+        EXPECT_GE(received, last);
+        EXPECT_LE(received, total);
+        last = received;
+      });
+  f.sim.Run();
+  EXPECT_GT(last, 400 * kKB);
+}
+
+TEST(HttpSession, OutstandingCountTracksLifecycle) {
+  Fixture f(Protocol::kHttps, [](const std::string&) -> Bytes { return 1000; });
+  f.session->Connect([] {});
+  f.sim.RunUntil(kUsPerSec);
+  EXPECT_EQ(f.session->outstanding(), 0);
+  f.session->Get("x", 400, [](const FetchResult&) {});
+  EXPECT_EQ(f.session->outstanding(), 1);
+  f.sim.Run();
+  EXPECT_EQ(f.session->outstanding(), 0);
+}
+
+TEST(OriginServer, ServesManifestAndChunks) {
+  media::EncoderConfig config;
+  config.audio_bitrates = {128 * kKbps};
+  Rng rng(5);
+  const media::Manifest m = media::EncodeAsset("vid", "cdn.example", 60 * kUsPerSec, config, rng);
+  app::OriginServer server;
+  server.Host(&m);
+  EXPECT_EQ(server.ResponseBytesFor("manifest:vid"), m.SerializedSize());
+  const media::ChunkRef ref{media::MediaType::kVideo, 3, 2};
+  EXPECT_EQ(server.ResponseBytesFor(app::Resource::ChunkOf("vid", ref).ToTag()), m.SizeOf(ref));
+  EXPECT_EQ(server.ResponseBytesFor(app::Resource::HeadOf("vid", ref).ToTag()), 0);
+  EXPECT_THROW(server.ResponseBytesFor("manifest:unknown"), std::out_of_range);
+}
+
+TEST(Resource, TagRoundTrip) {
+  const app::Resource chunk =
+      app::Resource::ChunkOf("asset-7", {media::MediaType::kAudio, 0, 42});
+  const app::Resource parsed = app::Resource::FromTag(chunk.ToTag());
+  EXPECT_EQ(parsed.kind, app::Resource::Kind::kChunk);
+  EXPECT_EQ(parsed.asset_id, "asset-7");
+  EXPECT_EQ(parsed.chunk.type, media::MediaType::kAudio);
+  EXPECT_EQ(parsed.chunk.index, 42);
+
+  const app::Resource manifest = app::Resource::ManifestOf("m");
+  EXPECT_EQ(app::Resource::FromTag(manifest.ToTag()).kind, app::Resource::Kind::kManifest);
+
+  EXPECT_THROW(app::Resource::FromTag("garbage:x:y"), std::invalid_argument);
+  EXPECT_THROW(app::Resource::FromTag(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csi::http

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/transport/interval_set.h"
+
+namespace csi::transport {
+namespace {
+
+TEST(IntervalSet, EmptyHasNoPrefix) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.ContiguousPrefix(), 0u);
+  EXPECT_EQ(s.TotalBytes(), 0u);
+  EXPECT_TRUE(s.Contains(5, 5));  // empty range trivially contained
+  EXPECT_FALSE(s.Contains(0, 1));
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet s;
+  s.Add(0, 100);
+  EXPECT_EQ(s.ContiguousPrefix(), 100u);
+  EXPECT_EQ(s.TotalBytes(), 100u);
+  EXPECT_TRUE(s.Contains(10, 90));
+  EXPECT_FALSE(s.Contains(50, 101));
+}
+
+TEST(IntervalSet, GapBlocksPrefix) {
+  IntervalSet s;
+  s.Add(0, 10);
+  s.Add(20, 30);
+  EXPECT_EQ(s.ContiguousPrefix(), 10u);
+  EXPECT_EQ(s.TotalBytes(), 20u);
+  s.Add(10, 20);  // fill the gap
+  EXPECT_EQ(s.ContiguousPrefix(), 30u);
+  EXPECT_EQ(s.TotalBytes(), 30u);
+}
+
+TEST(IntervalSet, MergesAdjacent) {
+  IntervalSet s;
+  s.Add(0, 10);
+  s.Add(10, 20);
+  EXPECT_EQ(s.ContiguousPrefix(), 20u);
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.Add(5, 15);
+  s.Add(0, 10);
+  s.Add(12, 30);
+  EXPECT_EQ(s.ContiguousPrefix(), 30u);
+  EXPECT_EQ(s.TotalBytes(), 30u);
+}
+
+TEST(IntervalSet, DuplicateAddIdempotent) {
+  IntervalSet s;
+  s.Add(0, 100);
+  s.Add(40, 60);
+  s.Add(0, 100);
+  EXPECT_EQ(s.TotalBytes(), 100u);
+}
+
+TEST(IntervalSet, NotStartingAtZero) {
+  IntervalSet s;
+  s.Add(100, 200);
+  EXPECT_EQ(s.ContiguousPrefix(), 0u);
+  EXPECT_TRUE(s.Contains(150, 200));
+}
+
+TEST(IntervalSet, DegenerateRangeIgnored) {
+  IntervalSet s;
+  s.Add(10, 10);
+  s.Add(10, 5);
+  EXPECT_TRUE(s.empty());
+}
+
+// Property: random insertion order of a segment partition always yields the
+// full range.
+TEST(IntervalSet, RandomizedReassembly) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Build a partition of [0, 10000) into segments, shuffle, insert.
+    std::vector<std::pair<uint64_t, uint64_t>> segments;
+    uint64_t pos = 0;
+    while (pos < 10000) {
+      const uint64_t len = static_cast<uint64_t>(rng.UniformInt(1, 500));
+      segments.emplace_back(pos, std::min<uint64_t>(pos + len, 10000));
+      pos += len;
+    }
+    // Fisher-Yates shuffle.
+    for (size_t i = segments.size(); i > 1; --i) {
+      std::swap(segments[i - 1], segments[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    IntervalSet s;
+    for (const auto& [lo, hi] : segments) {
+      s.Add(lo, hi);
+    }
+    EXPECT_EQ(s.ContiguousPrefix(), 10000u);
+    EXPECT_EQ(s.TotalBytes(), 10000u);
+  }
+}
+
+}  // namespace
+}  // namespace csi::transport

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/csi/chunk_database.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+namespace {
+
+// A small hand-built manifest: 2 video tracks x 4 positions + 1 audio track.
+media::Manifest TinyManifest() {
+  media::Manifest m;
+  m.asset_id = "tiny";
+  m.host = "cdn.example";
+  media::Track t0;
+  t0.name = "low";
+  t0.nominal_bitrate = 500 * kKbps;
+  for (Bytes size : {100000, 110000, 120000, 130000}) {
+    t0.chunks.push_back(media::Chunk{size, 5 * kUsPerSec});
+  }
+  media::Track t1;
+  t1.name = "high";
+  t1.nominal_bitrate = 2000 * kKbps;
+  for (Bytes size : {400000, 440000, 480000, 520000}) {
+    t1.chunks.push_back(media::Chunk{size, 5 * kUsPerSec});
+  }
+  m.video_tracks = {t0, t1};
+  media::Track audio;
+  audio.name = "audio";
+  audio.type = media::MediaType::kAudio;
+  audio.nominal_bitrate = 128 * kKbps;
+  for (int i = 0; i < 4; ++i) {
+    audio.chunks.push_back(media::Chunk{80000, 5 * kUsPerSec});
+  }
+  m.audio_tracks = {audio};
+  return m;
+}
+
+TEST(ChunkDatabase, ExactSizeMatches) {
+  const media::Manifest m = TinyManifest();
+  const ChunkDatabase db(&m);
+  const auto candidates = db.VideoCandidates(110000, 0.01);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].track, 0);
+  EXPECT_EQ(candidates[0].index, 1);
+}
+
+TEST(ChunkDatabase, PropertyOneWindow) {
+  const media::Manifest m = TinyManifest();
+  const ChunkDatabase db(&m);
+  // Estimate S~ matches chunk S iff S <= S~ <= (1+k)S, i.e. S in
+  // [S~/(1+k), S~]. An estimate 0.5% above 100000 still matches.
+  EXPECT_EQ(db.VideoCandidates(100500, 0.01).size(), 1u);
+  // An estimate below the true size never matches it (estimates only
+  // overshoot).
+  EXPECT_EQ(db.VideoCandidates(99999, 0.01).size(), 0u);
+  // Just past the +1% bound: no match.
+  EXPECT_EQ(db.VideoCandidates(101001, 0.01).size(), 0u);
+}
+
+TEST(ChunkDatabase, WiderToleranceFindsMore) {
+  const media::Manifest m = TinyManifest();
+  const ChunkDatabase db(&m);
+  // 5% tolerance around 130000 also catches nothing else in track 0... but a
+  // 445000 estimate catches both 440000 and (445000/1.05=423810 <= 480000? no).
+  EXPECT_EQ(db.VideoCandidates(130000, 0.05).size(), 1u);
+  const auto candidates = db.VideoCandidates(448000, 0.05);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].index, 1);
+}
+
+TEST(ChunkDatabase, AudioMatching) {
+  const media::Manifest m = TinyManifest();
+  const ChunkDatabase db(&m);
+  EXPECT_TRUE(db.AudioPossible(80000, 0.01));
+  EXPECT_TRUE(db.AudioPossible(80700, 0.01));   // within +1%
+  EXPECT_FALSE(db.AudioPossible(81000, 0.01));  // past +1%
+  EXPECT_FALSE(db.AudioPossible(79000, 0.01));  // below true size
+  EXPECT_EQ(db.MatchingAudioTrack(80500, 0.01), 0);
+  EXPECT_EQ(db.MatchingAudioTrack(50000, 0.01), -1);
+}
+
+TEST(ChunkDatabase, MinMaxPerPosition) {
+  const media::Manifest m = TinyManifest();
+  const ChunkDatabase db(&m);
+  EXPECT_EQ(db.MinSizeAt(0), 100000);
+  EXPECT_EQ(db.MaxSizeAt(0), 400000);
+  EXPECT_EQ(db.MinSizeAt(3), 130000);
+  EXPECT_EQ(db.MaxSizeAt(3), 520000);
+}
+
+TEST(ChunkDatabase, VideoSizeLookup) {
+  const media::Manifest m = TinyManifest();
+  const ChunkDatabase db(&m);
+  EXPECT_EQ(db.VideoSize(1, 2), 480000);
+  EXPECT_EQ(db.num_video_tracks(), 2);
+  EXPECT_EQ(db.num_positions(), 4);
+  ASSERT_EQ(db.audio_sizes().size(), 1u);
+  EXPECT_EQ(db.audio_sizes()[0], 80000);
+}
+
+TEST(ChunkDatabase, OverlappingSizesAcrossTracksAllReported) {
+  // Fig. 4's point: chunks from different tracks can share a size.
+  media::Manifest m = TinyManifest();
+  m.video_tracks[1].chunks[0].size = 100000;  // collide with track 0 index 0
+  const ChunkDatabase db(&m);
+  const auto candidates = db.VideoCandidates(100000, 0.01);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_NE(candidates[0].track, candidates[1].track);
+  EXPECT_EQ(candidates[0].index, 0);
+  EXPECT_EQ(candidates[1].index, 0);
+}
+
+}  // namespace
+}  // namespace csi::infer

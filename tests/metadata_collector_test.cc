@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/app/origin_server.h"
+#include "src/app/resource.h"
+#include "src/csi/metadata_collector.h"
+#include "src/media/encoder.h"
+#include "src/net/link.h"
+
+namespace csi::infer {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  media::Manifest manifest;
+  app::OriginServer origin;
+  std::unique_ptr<net::Link> uplink;
+  std::unique_ptr<net::Link> downlink;
+  std::unique_ptr<http::HttpSession> session;
+
+  Fixture() {
+    media::EncoderConfig config;
+    config.audio_bitrates = {128 * kKbps};
+    Rng rng(5);
+    manifest = media::EncodeAsset("asset", "cdn.example", 2 * 60 * kUsPerSec, config, rng);
+    origin.Host(&manifest);
+    net::LinkConfig link;
+    link.propagation_delay = 5 * kUsPerMs;
+    downlink = std::make_unique<net::Link>(
+        &sim, link, std::make_unique<net::NoLoss>(), Rng(1),
+        [this](const net::Packet& p) { session->DeliverToClient(p); });
+    uplink = std::make_unique<net::Link>(
+        &sim, link, std::make_unique<net::NoLoss>(), Rng(2),
+        [this](const net::Packet& p) { session->DeliverToServer(p); });
+    http::SessionConfig session_config;
+    session = std::make_unique<http::HttpSession>(
+        &sim, session_config, [this](const net::Packet& p) { uplink->Send(p); },
+        [this](const net::Packet& p) { downlink->Send(p); },
+        [this](const std::string& tag) { return origin.ResponseBytesFor(tag); });
+    session->Connect([] {});
+    sim.RunUntil(kUsPerSec);
+  }
+
+  HeadOracle Oracle() {
+    return [this](const std::string& tag) {
+      const app::Resource r = app::Resource::FromTag(tag);
+      return manifest.SizeOf(r.chunk);  // the Content-Length the origin advertises
+    };
+  }
+};
+
+TEST(StripSizes, ErasesAllSizesKeepsStructure) {
+  Fixture f;
+  const media::Manifest skeleton = StripSizes(f.manifest);
+  EXPECT_EQ(skeleton.num_video_tracks(), f.manifest.num_video_tracks());
+  EXPECT_EQ(skeleton.num_positions(), f.manifest.num_positions());
+  for (const auto& t : skeleton.video_tracks) {
+    for (const auto& c : t.chunks) {
+      EXPECT_EQ(c.size, 0);
+      EXPECT_GT(c.duration, 0);
+    }
+  }
+}
+
+TEST(CollectChunkSizes, RecoversEveryChunkSizeViaHead) {
+  Fixture f;
+  const media::Manifest skeleton = StripSizes(f.manifest);
+  CollectorStats stats;
+  const media::Manifest filled =
+      CollectChunkSizes(&f.sim, f.session.get(), skeleton, f.Oracle(), &stats);
+  int chunks = 0;
+  for (int t = 0; t < f.manifest.num_video_tracks(); ++t) {
+    for (int i = 0; i < f.manifest.num_positions(); ++i) {
+      EXPECT_EQ(filled.video_tracks[static_cast<size_t>(t)].chunks[static_cast<size_t>(i)].size,
+                f.manifest.video_tracks[static_cast<size_t>(t)].chunks[static_cast<size_t>(i)].size);
+      ++chunks;
+    }
+  }
+  for (size_t i = 0; i < f.manifest.audio_tracks[0].chunks.size(); ++i) {
+    EXPECT_EQ(filled.audio_tracks[0].chunks[i].size, f.manifest.audio_tracks[0].chunks[i].size);
+    ++chunks;
+  }
+  EXPECT_EQ(stats.head_requests, chunks);
+  EXPECT_GT(stats.elapsed, 0);
+}
+
+TEST(CollectChunkSizes, CollectedDatabaseDrivesInference) {
+  // The filled manifest must be byte-identical as a fingerprint database.
+  Fixture f;
+  const media::Manifest filled =
+      CollectChunkSizes(&f.sim, f.session.get(), StripSizes(f.manifest), f.Oracle());
+  EXPECT_EQ(filled.Serialize(), f.manifest.Serialize());
+}
+
+TEST(CollectChunkSizes, HeadProbesAreCheap) {
+  // HEAD responses carry no body: total downlink bytes stay tiny compared to
+  // the asset itself.
+  Fixture f;
+  CollectorStats stats;
+  CollectChunkSizes(&f.sim, f.session.get(), StripSizes(f.manifest), f.Oracle(), &stats);
+  // 24 positions x 7 tracks ~ 168 probes; at ~1 KB per exchange that is
+  // far below one chunk.
+  EXPECT_LT(UsToSeconds(stats.elapsed), 60.0);
+}
+
+}  // namespace
+}  // namespace csi::infer

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "src/testbed/experiment.h"
+#include "src/testbed/metrics.h"
+
+namespace csi::testbed {
+namespace {
+
+using infer::InferenceResult;
+using infer::InferredSequence;
+using infer::InferredSlot;
+using infer::SlotKind;
+using media::ChunkRef;
+using media::MediaType;
+
+std::vector<player::DownloadRecord> GroundTruth() {
+  std::vector<player::DownloadRecord> gt;
+  for (int i = 0; i < 4; ++i) {
+    player::DownloadRecord v;
+    v.chunk = ChunkRef{MediaType::kVideo, i % 2, i};
+    gt.push_back(v);
+    player::DownloadRecord a;
+    a.chunk = ChunkRef{MediaType::kAudio, 0, i};
+    gt.push_back(a);
+  }
+  return gt;
+}
+
+InferredSlot Video(int track, int index) {
+  InferredSlot s;
+  s.kind = SlotKind::kVideo;
+  s.chunk = ChunkRef{MediaType::kVideo, track, index};
+  return s;
+}
+
+InferredSlot Audio(int index) {
+  InferredSlot s;
+  s.kind = SlotKind::kAudio;
+  s.chunk = ChunkRef{MediaType::kAudio, 0, index};
+  return s;
+}
+
+InferredSequence PerfectSequence() {
+  InferredSequence seq;
+  for (int i = 0; i < 4; ++i) {
+    seq.slots.push_back(Video(i % 2, i));
+    seq.slots.push_back(Audio(i));
+  }
+  return seq;
+}
+
+TEST(SequenceAccuracy, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(SequenceAccuracy(PerfectSequence(), GroundTruth()), 1.0);
+}
+
+TEST(SequenceAccuracy, WrongTrackLosesCredit) {
+  InferredSequence seq = PerfectSequence();
+  seq.slots[0].chunk.track = 1;  // truth is track 0
+  EXPECT_DOUBLE_EQ(SequenceAccuracy(seq, GroundTruth()), 7.0 / 8.0);
+}
+
+TEST(SequenceAccuracy, MissingSlotsLoseCredit) {
+  InferredSequence seq;
+  seq.slots.push_back(Video(0, 0));
+  seq.slots.push_back(Audio(0));
+  EXPECT_DOUBLE_EQ(SequenceAccuracy(seq, GroundTruth()), 2.0 / 8.0);
+}
+
+TEST(SequenceAccuracy, WrongAudioIndexLosesCredit) {
+  InferredSequence seq = PerfectSequence();
+  seq.slots[1].chunk.index = 99;
+  EXPECT_DOUBLE_EQ(SequenceAccuracy(seq, GroundTruth()), 7.0 / 8.0);
+}
+
+TEST(SequenceAccuracy, OtherSlotsNeitherHelpNorHarm) {
+  InferredSequence seq = PerfectSequence();
+  InferredSlot other;
+  other.kind = SlotKind::kOther;
+  seq.slots.push_back(other);
+  EXPECT_DOUBLE_EQ(SequenceAccuracy(seq, GroundTruth()), 1.0);
+}
+
+TEST(SequenceAccuracy, EmptyGroundTruthScoresZero) {
+  EXPECT_DOUBLE_EQ(SequenceAccuracy(PerfectSequence(), {}), 0.0);
+}
+
+TEST(ScoreInference, BestAndWorstAcrossSequences) {
+  InferenceResult result;
+  result.sequences.push_back(PerfectSequence());
+  InferredSequence bad;
+  bad.slots.push_back(Video(1, 0));  // wrong track
+  result.sequences.push_back(bad);
+  const AccuracyResult acc = ScoreInference(result, GroundTruth());
+  EXPECT_EQ(acc.num_sequences, 2);
+  EXPECT_DOUBLE_EQ(acc.best, 1.0);
+  EXPECT_DOUBLE_EQ(acc.worst, 0.0);
+  EXPECT_TRUE(acc.found_ground_truth);
+  EXPECT_FALSE(acc.unique_output);
+}
+
+TEST(ScoreInference, UniqueOutputFlag) {
+  InferenceResult result;
+  result.sequences.push_back(PerfectSequence());
+  const AccuracyResult acc = ScoreInference(result, GroundTruth());
+  EXPECT_TRUE(acc.unique_output);
+  EXPECT_TRUE(acc.found_ground_truth);
+}
+
+TEST(ScoreInference, NoSequencesScoresZero) {
+  const AccuracyResult acc = ScoreInference(InferenceResult{}, GroundTruth());
+  EXPECT_EQ(acc.num_sequences, 0);
+  EXPECT_DOUBLE_EQ(acc.best, 0.0);
+  EXPECT_FALSE(acc.found_ground_truth);
+}
+
+TEST(Aggregate, ComputesTable4Columns) {
+  std::vector<AccuracyResult> runs;
+  for (double best : {1.0, 1.0, 0.97, 0.5}) {
+    AccuracyResult r;
+    r.best = best;
+    r.worst = best - 0.1;
+    runs.push_back(r);
+  }
+  const AccuracyAggregate agg = Aggregate(runs, /*best=*/true);
+  EXPECT_DOUBLE_EQ(agg.pct_100_match, 50.0);
+  EXPECT_DOUBLE_EQ(agg.pct_above_95, 75.0);
+  EXPECT_GT(agg.pct5_accuracy, 50.0);
+  EXPECT_LT(agg.pct5_accuracy, 97.0);
+}
+
+}  // namespace
+}  // namespace csi::testbed

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/loss_model.h"
+#include "src/net/packet.h"
+#include "src/net/token_bucket.h"
+#include "src/nettrace/bandwidth_trace.h"
+#include "src/sim/simulator.h"
+
+namespace csi::net {
+namespace {
+
+Packet MakeDataPacket(Bytes payload) {
+  Packet p;
+  p.payload = payload;
+  return p;
+}
+
+TEST(Packet, WireSizeIncludesHeaders) {
+  Packet tcp;
+  tcp.transport = Transport::kTcp;
+  tcp.payload = 1000;
+  EXPECT_EQ(tcp.WireSize(), 1000 + kIpHeaderBytes + kTcpHeaderBytes);
+  Packet udp;
+  udp.transport = Transport::kUdp;
+  udp.payload = 1000;
+  EXPECT_EQ(udp.WireSize(), 1000 + kIpHeaderBytes + kUdpHeaderBytes);
+}
+
+TEST(Link, SerializationTiming) {
+  sim::Simulator sim;
+  // 1460-payload TCP packet = 1500 wire bytes at 12 Mbps = 1 ms + 5 ms prop.
+  const auto trace = nettrace::StableTrace("t", 12 * kMbps);
+  LinkConfig config;
+  config.trace = &trace;
+  config.propagation_delay = 5 * kUsPerMs;
+  std::vector<TimeUs> arrivals;
+  Link link(&sim, config, std::make_unique<NoLoss>(), Rng(1),
+            [&](const Packet&) { arrivals.push_back(sim.Now()); });
+  link.Send(MakeDataPacket(1460));
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 6 * kUsPerMs);
+}
+
+TEST(Link, BackToBackPacketsQueue) {
+  sim::Simulator sim;
+  const auto trace = nettrace::StableTrace("t", 12 * kMbps);
+  LinkConfig config;
+  config.trace = &trace;
+  config.propagation_delay = 0;
+  std::vector<TimeUs> arrivals;
+  Link link(&sim, config, std::make_unique<NoLoss>(), Rng(1),
+            [&](const Packet&) { arrivals.push_back(sim.Now()); });
+  for (int i = 0; i < 3; ++i) {
+    link.Send(MakeDataPacket(1460));
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1 * kUsPerMs);
+  EXPECT_EQ(arrivals[1], 2 * kUsPerMs);
+  EXPECT_EQ(arrivals[2], 3 * kUsPerMs);
+}
+
+TEST(Link, DropTailOnQueueOverflow) {
+  sim::Simulator sim;
+  const auto trace = nettrace::StableTrace("t", 1 * kMbps);
+  LinkConfig config;
+  config.trace = &trace;
+  config.queue_limit = 3000;  // fits ~2 full packets
+  int delivered = 0;
+  Link link(&sim, config, std::make_unique<NoLoss>(), Rng(1),
+            [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    link.Send(MakeDataPacket(1460));
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, link.packets_delivered());
+  EXPECT_LT(delivered, 10);
+  EXPECT_EQ(link.packets_dropped(), 10 - delivered);
+}
+
+TEST(Link, RandomLossDropsApproximately) {
+  sim::Simulator sim;
+  LinkConfig config;  // infinitely fast
+  config.queue_limit = 0;  // unbounded: isolate random loss from drop-tail
+  int delivered = 0;
+  Link link(&sim, config, std::make_unique<BernoulliLoss>(0.2), Rng(7),
+            [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 5000; ++i) {
+    link.Send(MakeDataPacket(100));
+  }
+  sim.Run();
+  EXPECT_NEAR(delivered / 5000.0, 0.8, 0.03);
+}
+
+TEST(Link, UnlimitedWhenNoTrace) {
+  sim::Simulator sim;
+  LinkConfig config;
+  config.propagation_delay = 2 * kUsPerMs;
+  std::vector<TimeUs> arrivals;
+  Link link(&sim, config, std::make_unique<NoLoss>(), Rng(1),
+            [&](const Packet&) { arrivals.push_back(sim.Now()); });
+  link.Send(MakeDataPacket(100000));
+  sim.Run();
+  EXPECT_EQ(arrivals[0], 2 * kUsPerMs);
+}
+
+TEST(LossModel, GilbertElliottBursts) {
+  GilbertElliottLoss ge(/*p_good_to_bad=*/0.01, /*p_bad_to_good=*/0.2, /*loss_good=*/0.0,
+                        /*loss_bad=*/0.8);
+  Rng rng(11);
+  int losses = 0;
+  int longest_burst = 0;
+  int burst = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (ge.ShouldDrop(rng)) {
+      ++losses;
+      ++burst;
+      longest_burst = std::max(longest_burst, burst);
+    } else {
+      burst = 0;
+    }
+  }
+  EXPECT_GT(losses, 100);
+  EXPECT_GE(longest_burst, 3);  // bursty, not independent
+}
+
+// --- Token bucket (the §7 shaper) ---
+
+TEST(TokenBucket, BurstsUpToBucketSize) {
+  sim::Simulator sim;
+  TokenBucketConfig config;
+  config.rate = 1 * kMbps;
+  config.bucket_size = 5000;
+  std::vector<TimeUs> arrivals;
+  TokenBucket tb(&sim, config, [&](const Packet&) { arrivals.push_back(sim.Now()); });
+  // Three 1500-wire-byte packets fit the initial bucket; the fourth waits.
+  for (int i = 0; i < 4; ++i) {
+    tb.Send(MakeDataPacket(1460));
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  EXPECT_EQ(arrivals[0], 0);
+  EXPECT_EQ(arrivals[1], 0);
+  EXPECT_EQ(arrivals[2], 0);
+  EXPECT_GT(arrivals[3], 0);
+}
+
+TEST(TokenBucket, SustainedRateMatchesTokenRate) {
+  sim::Simulator sim;
+  TokenBucketConfig config;
+  config.rate = 2 * kMbps;
+  config.bucket_size = 2000;
+  Bytes delivered_bytes = 0;
+  TimeUs last_arrival = 0;
+  TokenBucket tb(&sim, config, [&](const Packet& p) {
+    delivered_bytes += p.WireSize();
+    last_arrival = sim.Now();
+  });
+  for (int i = 0; i < 200; ++i) {
+    tb.Send(MakeDataPacket(1460));
+  }
+  sim.Run();
+  // Long-run throughput ~ r.
+  const double rate = static_cast<double>(delivered_bytes) * 8.0 / UsToSeconds(last_arrival);
+  EXPECT_NEAR(rate, 2 * kMbps, 0.1 * kMbps);
+}
+
+TEST(TokenBucket, TokensRefillWhileIdle) {
+  sim::Simulator sim;
+  TokenBucketConfig config;
+  config.rate = 8 * kMbps;  // 1 MB/s
+  config.bucket_size = 50 * kKB;
+  TokenBucket tb(&sim, config, [](const Packet&) {});
+  // Drain the bucket.
+  for (int i = 0; i < 40; ++i) {
+    tb.Send(MakeDataPacket(1460));
+  }
+  sim.Run();
+  const Bytes after_drain = tb.TokensAvailable();
+  sim.RunUntil(sim.Now() + 20 * kUsPerMs);  // 20 ms -> +20 KB
+  EXPECT_NEAR(static_cast<double>(tb.TokensAvailable() - after_drain), 20000.0, 2000.0);
+}
+
+TEST(TokenBucket, BucketNeverExceedsCapacity) {
+  sim::Simulator sim;
+  TokenBucketConfig config;
+  config.rate = 10 * kMbps;
+  config.bucket_size = 5000;
+  TokenBucket tb(&sim, config, [](const Packet&) {});
+  sim.RunUntil(10 * kUsPerSec);
+  EXPECT_LE(tb.TokensAvailable(), 5000);
+}
+
+TEST(TokenBucket, QueueLimitDrops) {
+  sim::Simulator sim;
+  TokenBucketConfig config;
+  config.rate = 100 * kKbps;
+  config.bucket_size = 1500;
+  config.queue_limit = 4000;
+  int delivered = 0;
+  TokenBucket tb(&sim, config, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 20; ++i) {
+    tb.Send(MakeDataPacket(1460));
+  }
+  EXPECT_GT(tb.packets_dropped(), 0);
+}
+
+TEST(TokenBucket, LargerBucketAllowsBiggerBurst) {
+  for (const Bytes bucket : {5 * kKB, 50 * kKB}) {
+    sim::Simulator sim;
+    TokenBucketConfig config;
+    config.rate = 1 * kMbps;
+    config.bucket_size = bucket;
+    int immediate = 0;
+    TokenBucket tb(&sim, config, [&](const Packet&) {
+      if (sim.Now() == 0) {
+        ++immediate;
+      }
+    });
+    for (int i = 0; i < 100; ++i) {
+      tb.Send(MakeDataPacket(1460));
+    }
+    sim.Run();
+    EXPECT_NEAR(immediate, static_cast<int>(bucket / 1500), 1);
+  }
+}
+
+}  // namespace
+}  // namespace csi::net

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nettrace/bandwidth_trace.h"
+
+namespace csi::nettrace {
+namespace {
+
+TEST(BandwidthTrace, StableTraceIsConstant) {
+  const BandwidthTrace t = StableTrace("s", 5 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(0), 5 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(123456789), 5 * kMbps);
+  EXPECT_DOUBLE_EQ(t.AverageRate(), 5 * kMbps);
+}
+
+TEST(BandwidthTrace, SegmentsSelectRate) {
+  BandwidthTrace t("t", {{0, 10 * kMbps}, {kUsPerSec, 2 * kMbps}, {2 * kUsPerSec, 6 * kMbps}});
+  EXPECT_DOUBLE_EQ(t.RateAt(0), 10 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(kUsPerSec - 1), 10 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(kUsPerSec), 2 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(2 * kUsPerSec + 1), 6 * kMbps);
+}
+
+TEST(BandwidthTrace, CyclesBeyondPeriod) {
+  BandwidthTrace t("t", {{0, 10 * kMbps}, {kUsPerSec, 2 * kMbps}});
+  const TimeUs period = t.Period();
+  EXPECT_DOUBLE_EQ(t.RateAt(period), 10 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(period + kUsPerSec), 2 * kMbps);
+}
+
+TEST(BandwidthTrace, NextChangeAfter) {
+  BandwidthTrace t("t", {{0, 1 * kMbps}, {kUsPerSec, 2 * kMbps}});
+  EXPECT_EQ(t.NextChangeAfter(0), kUsPerSec);
+  EXPECT_EQ(t.NextChangeAfter(kUsPerSec), t.Period());
+}
+
+TEST(BandwidthTrace, AverageWeighsDurations) {
+  // 1s at 9 Mbps then (period extension) at 3 Mbps for 1s.
+  BandwidthTrace t("t", {{0, 9 * kMbps}, {kUsPerSec, 3 * kMbps}});
+  EXPECT_NEAR(t.AverageRate(), 6 * kMbps, 1.0);
+}
+
+TEST(BandwidthTrace, RejectsEmptyAndNonZeroStart) {
+  EXPECT_THROW(BandwidthTrace("x", {}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace("x", {{5, 1 * kMbps}}), std::invalid_argument);
+}
+
+TEST(BandwidthTrace, SerializeParseRoundTrip) {
+  Rng rng(3);
+  const BandwidthTrace t = CellularTrace("c", 4 * kMbps, 0.5, 60 * kUsPerSec, kUsPerSec, rng);
+  const BandwidthTrace parsed = BandwidthTrace::Parse("c", t.Serialize());
+  ASSERT_EQ(parsed.segments().size(), t.segments().size());
+  for (size_t i = 0; i < t.segments().size(); ++i) {
+    EXPECT_EQ(parsed.segments()[i].start, t.segments()[i].start);
+    EXPECT_NEAR(parsed.segments()[i].rate, t.segments()[i].rate, 1.0);
+  }
+}
+
+TEST(CellularTrace, HitsTargetMeanAndSpread) {
+  Rng rng(4);
+  const BandwidthTrace t =
+      CellularTrace("c", 8 * kMbps, 0.5, 30 * 60 * kUsPerSec, kUsPerSec, rng);
+  EXPECT_NEAR(t.AverageRate(), 8 * kMbps, 1.5 * kMbps);
+  // Variability present: min and max rates differ substantially.
+  double lo = 1e18;
+  double hi = 0;
+  for (const auto& seg : t.segments()) {
+    lo = std::min(lo, seg.rate);
+    hi = std::max(hi, seg.rate);
+  }
+  EXPECT_GT(hi / lo, 2.0);
+}
+
+TEST(CellularTrace, FloorsAtMinimumRate) {
+  Rng rng(5);
+  const BandwidthTrace t =
+      CellularTrace("c", 100 * kKbps, 1.5, 10 * 60 * kUsPerSec, kUsPerSec, rng);
+  for (const auto& seg : t.segments()) {
+    EXPECT_GE(seg.rate, 50 * kKbps);
+  }
+}
+
+TEST(SquareWave, AlternatesRates) {
+  const BandwidthTrace t =
+      SquareWaveTrace("sq", 10 * kMbps, 1 * kMbps, 5 * kUsPerSec, 2 * kUsPerSec);
+  EXPECT_DOUBLE_EQ(t.RateAt(1 * kUsPerSec), 10 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(6 * kUsPerSec), 1 * kMbps);
+  EXPECT_DOUBLE_EQ(t.RateAt(7 * kUsPerSec + 1), 10 * kMbps);
+}
+
+TEST(Conditions, B1IsStableTenMbps) {
+  const BandwidthTrace b1 = ConditionB1();
+  EXPECT_DOUBLE_EQ(b1.RateAt(12345678), 10 * kMbps);
+}
+
+TEST(Conditions, B2HasDipsToOneMbps) {
+  const BandwidthTrace b2 = ConditionB2();
+  bool saw_high = false;
+  bool saw_low = false;
+  for (TimeUs t = 0; t < b2.Period(); t += kUsPerSec) {
+    if (b2.RateAt(t) == 10 * kMbps) {
+      saw_high = true;
+    }
+    if (b2.RateAt(t) == 1 * kMbps) {
+      saw_low = true;
+    }
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_TRUE(saw_low);
+}
+
+TEST(TraceLibrary, CoversPaperRange) {
+  Rng rng(6);
+  const auto traces = CellularTraceLibrary(30, 10 * 60 * kUsPerSec, rng);
+  ASSERT_EQ(traces.size(), 30u);
+  // Average rates span roughly 0.6-40 Mbps (paper §6.2).
+  EXPECT_LT(traces.front().AverageRate(), 1.5 * kMbps);
+  EXPECT_GT(traces.back().AverageRate(), 20 * kMbps);
+}
+
+}  // namespace
+}  // namespace csi::nettrace

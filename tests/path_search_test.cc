@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "src/csi/path_search.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+namespace {
+
+// 3 video tracks x 6 positions with well-separated sizes, 1 audio track.
+media::Manifest SearchManifest() {
+  media::Manifest m;
+  m.asset_id = "search";
+  m.host = "cdn.example";
+  for (int t = 0; t < 3; ++t) {
+    media::Track track;
+    track.name = "T" + std::to_string(t);
+    track.nominal_bitrate = (t + 1) * 500 * kKbps;
+    for (int i = 0; i < 6; ++i) {
+      // Distinct sizes everywhere: 100k*(t+1) + 3k*i.
+      track.chunks.push_back(
+          media::Chunk{100000 * (t + 1) + 3000 * i, 5 * kUsPerSec});
+    }
+    m.video_tracks.push_back(track);
+  }
+  media::Track audio;
+  audio.type = media::MediaType::kAudio;
+  audio.name = "audio";
+  for (int i = 0; i < 6; ++i) {
+    audio.chunks.push_back(media::Chunk{50000, 5 * kUsPerSec});
+  }
+  m.audio_tracks.push_back(audio);
+  return m;
+}
+
+EstimatedExchange Ex(TimeUs t, Bytes size) {
+  EstimatedExchange ex;
+  ex.request_time = t;
+  ex.last_data_time = t + kUsPerSec;
+  ex.estimated_size = size;
+  return ex;
+}
+
+// Estimate for a true size with typical overhead inside Property (1).
+Bytes Est(Bytes true_size) { return true_size + true_size / 500; }  // +0.2%
+
+TEST(BuildSlotOptions, ClassifiesVideoAudioOther) {
+  const media::Manifest m = SearchManifest();
+  const ChunkDatabase db(&m);
+  const std::vector<EstimatedExchange> exchanges = {
+      Ex(0, Est(100000)),  // track 0 index 0
+      Ex(1, Est(50000)),   // audio
+      Ex(2, 777),          // nothing
+  };
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  ASSERT_EQ(options.size(), 3u);
+  EXPECT_EQ(options[0].video_candidates.size(), 1u);
+  EXPECT_FALSE(options[0].skippable());
+  EXPECT_EQ(options[1].audio_track, 0);
+  EXPECT_TRUE(options[1].skippable());
+  EXPECT_TRUE(options[2].other_ok);
+  EXPECT_TRUE(options[2].skippable());
+}
+
+TEST(BuildSlotOptions, DisplayConstraintsPruneCandidates) {
+  media::Manifest m = SearchManifest();
+  // Make tracks 0 and 1 collide at index 2.
+  m.video_tracks[1].chunks[2].size = m.video_tracks[0].chunks[2].size;
+  const ChunkDatabase db(&m);
+  const std::vector<EstimatedExchange> exchanges = {Ex(0, Est(m.video_tracks[0].chunks[2].size))};
+  EXPECT_EQ(BuildSlotOptions(exchanges, db, 0.01)[0].video_candidates.size(), 2u);
+  DisplayConstraints display;
+  display[2] = 1;  // screen shows track 1 at index 2
+  const auto pruned = BuildSlotOptions(exchanges, db, 0.01, display);
+  ASSERT_EQ(pruned[0].video_candidates.size(), 1u);
+  EXPECT_EQ(pruned[0].video_candidates[0].track, 1);
+}
+
+TEST(SearchSequences, RecoversContiguousRun) {
+  const media::Manifest m = SearchManifest();
+  const ChunkDatabase db(&m);
+  // Video: (t0,i1), (t2,i2), (t1,i3).
+  const std::vector<EstimatedExchange> exchanges = {
+      Ex(0, Est(103000)),
+      Ex(1, Est(306000)),
+      Ex(2, Est(209000)),
+  };
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  const auto result = SearchSequences(exchanges, options, db);
+  ASSERT_EQ(result.sequences.size(), 1u);
+  const auto& slots = result.sequences[0].slots;
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].chunk.track, 0);
+  EXPECT_EQ(slots[0].chunk.index, 1);
+  EXPECT_EQ(slots[1].chunk.track, 2);
+  EXPECT_EQ(slots[1].chunk.index, 2);
+  EXPECT_EQ(slots[2].chunk.track, 1);
+  EXPECT_EQ(slots[2].chunk.index, 3);
+}
+
+TEST(SearchSequences, AudioBridgesVideoChunks) {
+  const media::Manifest m = SearchManifest();
+  const ChunkDatabase db(&m);
+  // video i0, audio, video i1 — the audio exchange bridges Property (2).
+  const std::vector<EstimatedExchange> exchanges = {
+      Ex(0, Est(100000)),
+      Ex(1, Est(50000)),
+      Ex(2, Est(103000)),
+  };
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  const auto result = SearchSequences(exchanges, options, db);
+  ASSERT_EQ(result.sequences.size(), 1u);
+  const auto& slots = result.sequences[0].slots;
+  EXPECT_EQ(slots[0].kind, SlotKind::kVideo);
+  EXPECT_EQ(slots[1].kind, SlotKind::kAudio);
+  EXPECT_EQ(slots[2].kind, SlotKind::kVideo);
+  EXPECT_EQ(slots[2].chunk.index, 1);
+  // Audio index anchored alongside the video run.
+  EXPECT_EQ(slots[1].chunk.index, 0);
+}
+
+TEST(SearchSequences, NonContiguousIndexesRejected) {
+  const media::Manifest m = SearchManifest();
+  const ChunkDatabase db(&m);
+  // i0 then i2: no contiguous interpretation exists.
+  const std::vector<EstimatedExchange> exchanges = {
+      Ex(0, Est(100000)),
+      Ex(1, Est(106000)),
+  };
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  const auto result = SearchSequences(exchanges, options, db);
+  EXPECT_TRUE(result.sequences.empty());
+}
+
+TEST(SearchSequences, AmbiguousSizesYieldMultipleSequences) {
+  media::Manifest m = SearchManifest();
+  // Collide track 0 and track 1 at every position: two full interpretations.
+  for (int i = 0; i < 6; ++i) {
+    m.video_tracks[1].chunks[static_cast<size_t>(i)].size =
+        m.video_tracks[0].chunks[static_cast<size_t>(i)].size;
+  }
+  const ChunkDatabase db(&m);
+  const std::vector<EstimatedExchange> exchanges = {
+      Ex(0, Est(100000)),
+      Ex(1, Est(103000)),
+  };
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  const auto result = SearchSequences(exchanges, options, db);
+  // 2 track choices per slot, indexes fixed by contiguity: 4 sequences.
+  EXPECT_EQ(result.sequences.size(), 4u);
+}
+
+TEST(SearchSequences, EnumerationCapSetsTruncated) {
+  media::Manifest m = SearchManifest();
+  for (int i = 0; i < 6; ++i) {
+    m.video_tracks[1].chunks[static_cast<size_t>(i)].size =
+        m.video_tracks[0].chunks[static_cast<size_t>(i)].size;
+    m.video_tracks[2].chunks[static_cast<size_t>(i)].size =
+        m.video_tracks[0].chunks[static_cast<size_t>(i)].size;
+  }
+  const ChunkDatabase db(&m);
+  std::vector<EstimatedExchange> exchanges;
+  for (int i = 0; i < 5; ++i) {
+    exchanges.push_back(Ex(i, Est(100000 + 3000 * i)));
+  }
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  PathSearchConfig config;
+  config.max_sequences = 10;  // 3^5 = 243 interpretations exist
+  const auto result = SearchSequences(exchanges, options, db, config);
+  EXPECT_EQ(result.sequences.size(), 10u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(SearchSequences, AllOtherExchangesYieldEmptySequence) {
+  const media::Manifest m = SearchManifest();
+  const ChunkDatabase db(&m);
+  const std::vector<EstimatedExchange> exchanges = {Ex(0, 999), Ex(1, 777)};
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  const auto result = SearchSequences(exchanges, options, db);
+  ASSERT_EQ(result.sequences.size(), 1u);
+  for (const auto& slot : result.sequences[0].slots) {
+    EXPECT_EQ(slot.kind, SlotKind::kOther);
+  }
+}
+
+TEST(SearchSequences, SequenceNeedNotStartAtIndexZero) {
+  const media::Manifest m = SearchManifest();
+  const ChunkDatabase db(&m);
+  // Only indexes 4, 5 downloaded (resumed playback).
+  const std::vector<EstimatedExchange> exchanges = {
+      Ex(0, Est(112000)),
+      Ex(1, Est(115000)),
+  };
+  const auto options = BuildSlotOptions(exchanges, db, 0.01);
+  const auto result = SearchSequences(exchanges, options, db);
+  ASSERT_EQ(result.sequences.size(), 1u);
+  EXPECT_EQ(result.sequences[0].slots[0].chunk.index, 4);
+}
+
+}  // namespace
+}  // namespace csi::infer

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "src/player/adaptation.h"
+#include "src/testbed/experiment.h"
+#include "src/testbed/session.h"
+
+namespace csi::player {
+namespace {
+
+using infer::DesignType;
+using testbed::MakeAssetForDesign;
+using testbed::RunStreamingSession;
+using testbed::SessionConfig;
+
+SessionConfig BaseSession(const media::Manifest* manifest, DesignType design,
+                          nettrace::BandwidthTrace trace) {
+  SessionConfig s;
+  s.design = design;
+  s.manifest = manifest;
+  s.downlink = std::move(trace);
+  s.duration = 5 * 60 * kUsPerSec;
+  s.seed = 7;
+  return s;
+}
+
+TEST(AbrPlayer, DownloadsChunksInContiguousIndexOrder) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kSH, 0, 5 * 60 * kUsPerSec);
+  SessionConfig session = BaseSession(&m, DesignType::kSH, nettrace::StableTrace("s", 8 * kMbps));
+  session.duration = 8 * 60 * kUsPerSec;  // headroom past the content length
+  const auto result = RunStreamingSession(session);
+  int prev_video = -1;
+  int prev_audio = -1;
+  for (const auto& d : result.downloads) {
+    if (d.chunk.type == media::MediaType::kVideo) {
+      EXPECT_EQ(d.chunk.index, prev_video + 1);  // Property (2)
+      prev_video = d.chunk.index;
+    } else {
+      EXPECT_EQ(d.chunk.index, prev_audio + 1);
+      prev_audio = d.chunk.index;
+    }
+  }
+  EXPECT_EQ(prev_video, m.num_positions() - 1);  // whole asset fetched
+  EXPECT_EQ(prev_audio, m.num_positions() - 1);
+}
+
+TEST(AbrPlayer, RequestTimesNonDecreasing) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 1, 5 * 60 * kUsPerSec);
+  const auto result =
+      RunStreamingSession(BaseSession(&m, DesignType::kCH, nettrace::StableTrace("s", 6 * kMbps)));
+  for (size_t i = 1; i < result.downloads.size(); ++i) {
+    EXPECT_GE(result.downloads[i].request_time, result.downloads[i - 1].request_time);
+    EXPECT_GE(result.downloads[i].done_time, result.downloads[i].request_time);
+  }
+}
+
+TEST(AbrPlayer, BufferCapProducesOnOffPattern) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 10 * 60 * kUsPerSec);
+  SessionConfig s = BaseSession(&m, DesignType::kCH, nettrace::StableTrace("s", 20 * kMbps));
+  s.duration = 10 * 60 * kUsPerSec;
+  s.player.max_buffer = 60 * kUsPerSec;
+  const auto result = RunStreamingSession(s);
+  // Once the buffer fills, requests pace out to roughly one chunk duration.
+  std::vector<TimeUs> gaps;
+  for (size_t i = 1; i < result.downloads.size(); ++i) {
+    if (result.downloads[i].chunk.type == media::MediaType::kVideo &&
+        result.downloads[i].request_time > 2 * 60 * kUsPerSec) {
+      gaps.push_back(result.downloads[i].request_time - result.downloads[i - 1].request_time);
+    }
+  }
+  ASSERT_GT(gaps.size(), 10u);
+  double mean_gap = 0;
+  for (TimeUs g : gaps) {
+    mean_gap += static_cast<double>(g);
+  }
+  mean_gap /= static_cast<double>(gaps.size());
+  EXPECT_NEAR(mean_gap, 5.0 * kUsPerSec, kUsPerSec);
+}
+
+TEST(AbrPlayer, StallsWhenBandwidthCollapses) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 10 * 60 * kUsPerSec);
+  // Good start, then long near-outage.
+  SessionConfig s = BaseSession(
+      &m, DesignType::kCH,
+      nettrace::SquareWaveTrace("sq", 6 * kMbps, 60 * kKbps, 30 * kUsPerSec, 200 * kUsPerSec));
+  s.player.max_buffer = 20 * kUsPerSec;  // small buffer cannot ride out the outage
+  s.duration = 5 * 60 * kUsPerSec;
+  const auto result = RunStreamingSession(s);
+  EXPECT_GE(result.stalls.size(), 1u);
+}
+
+TEST(AbrPlayer, NoStallsOnFastStableLink) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 5 * 60 * kUsPerSec);
+  const auto result = RunStreamingSession(
+      BaseSession(&m, DesignType::kCH, nettrace::StableTrace("s", 30 * kMbps)));
+  EXPECT_EQ(result.stalls.size(), 0u);
+}
+
+TEST(AbrPlayer, DisplayLogCoversDownloadedChunksInOrder) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 2, 5 * 60 * kUsPerSec);
+  const auto result = RunStreamingSession(
+      BaseSession(&m, DesignType::kCH, nettrace::StableTrace("s", 10 * kMbps)));
+  ASSERT_GT(result.displays.size(), 10u);
+  for (size_t i = 0; i < result.displays.size(); ++i) {
+    EXPECT_EQ(result.displays[i].chunk.index, static_cast<int>(i));
+    if (i > 0) {
+      EXPECT_GT(result.displays[i].start_time, result.displays[i - 1].start_time);
+    }
+  }
+  // Each displayed chunk matches the downloaded identity at its index.
+  for (const auto& disp : result.displays) {
+    bool found = false;
+    for (const auto& down : result.downloads) {
+      if (down.chunk == disp.chunk) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(AbrPlayer, HigherBandwidthSelectsHigherTracks) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 5 * 60 * kUsPerSec);
+  auto avg_track = [&](BitsPerSec rate) {
+    SessionConfig s = BaseSession(&m, DesignType::kCH, nettrace::StableTrace("s", rate));
+    s.adaptation = "hybrid";
+    const auto result = RunStreamingSession(s);
+    double sum = 0;
+    int count = 0;
+    for (const auto& d : result.downloads) {
+      if (d.request_time > 60 * kUsPerSec) {  // steady state
+        sum += d.chunk.track;
+        ++count;
+      }
+    }
+    return count > 0 ? sum / count : -1.0;
+  };
+  EXPECT_LT(avg_track(1 * kMbps) + 1.0, avg_track(12 * kMbps));
+}
+
+TEST(AbrPlayer, SqIssuesSimultaneousAudioVideoPairs) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kSQ, 0, 5 * 60 * kUsPerSec);
+  const auto result = RunStreamingSession(
+      BaseSession(&m, DesignType::kSQ, nettrace::StableTrace("s", 8 * kMbps)));
+  // Count video requests that share a timestamp with an audio request.
+  int paired = 0;
+  int video = 0;
+  for (const auto& d : result.downloads) {
+    if (d.chunk.type != media::MediaType::kVideo) {
+      continue;
+    }
+    ++video;
+    for (const auto& other : result.downloads) {
+      if (other.chunk.type == media::MediaType::kAudio &&
+          other.request_time == d.request_time) {
+        ++paired;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(paired, video / 2);
+}
+
+TEST(AbrPlayer, StartIndexOffsetsPlayback) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 5 * 60 * kUsPerSec);
+  SessionConfig s = BaseSession(&m, DesignType::kCH, nettrace::StableTrace("s", 10 * kMbps));
+  s.player.start_index = 17;  // resume mid-video (Property (2) does not fix I_1)
+  const auto result = RunStreamingSession(s);
+  ASSERT_FALSE(result.downloads.empty());
+  EXPECT_EQ(result.downloads.front().chunk.index, 17);
+}
+
+// --- Adaptation policies ---
+
+AdaptationInput MakeInput(const media::Manifest* m, BitsPerSec throughput, TimeUs buffer,
+                          int current, int chunks) {
+  AdaptationInput input;
+  input.manifest = m;
+  input.est_throughput = throughput;
+  input.video_buffer = buffer;
+  input.current_track = current;
+  input.chunks_downloaded = chunks;
+  return input;
+}
+
+class AdaptationPolicyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdaptationPolicyTest, SelectionIsAlwaysValidAndReachesTop) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 60 * kUsPerSec);
+  auto policy = MakeAdaptation(GetParam());
+  for (BitsPerSec bw = 100 * kKbps; bw <= 40 * kMbps; bw *= 1.4) {
+    const int track = policy->SelectVideoTrack(MakeInput(&m, bw, 60 * kUsPerSec, 2, 20));
+    EXPECT_GE(track, 0);
+    EXPECT_LT(track, m.num_video_tracks());
+  }
+  // At very high bandwidth and a deep buffer the top track is reachable.
+  const int top = policy->SelectVideoTrack(
+      MakeInput(&m, 100 * kMbps, 100 * kUsPerSec, m.num_video_tracks() - 1, 50));
+  EXPECT_EQ(top, m.num_video_tracks() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AdaptationPolicyTest,
+                         ::testing::Values("rate-based", "buffer-based", "hybrid",
+                                           "hulu-like"));
+
+TEST(Adaptation, UnknownThroughputSelectsLowest) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 60 * kUsPerSec);
+  for (const char* name : {"rate-based", "hybrid", "hulu-like"}) {
+    auto policy = MakeAdaptation(name);
+    EXPECT_EQ(policy->SelectVideoTrack(MakeInput(&m, 0, 0, -1, 0)), 0) << name;
+  }
+}
+
+TEST(Adaptation, HuluStartsLowRegardlessOfBandwidth) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 60 * kUsPerSec);
+  HuluLikeAdaptation hulu;
+  EXPECT_EQ(hulu.SelectVideoTrack(MakeInput(&m, 50 * kMbps, 0, -1, 0)), 0);
+  EXPECT_EQ(hulu.SelectVideoTrack(MakeInput(&m, 50 * kMbps, 10 * kUsPerSec, 0, 2)), 0);
+  EXPECT_GT(hulu.SelectVideoTrack(MakeInput(&m, 50 * kMbps, 10 * kUsPerSec, 0, 5)), 0);
+}
+
+TEST(Adaptation, HuluConvergesToHalfBandwidth) {
+  // §7: the selected track's bitrate is at most half the available bandwidth.
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 60 * kUsPerSec);
+  HuluLikeAdaptation hulu;
+  for (BitsPerSec bw : {1 * kMbps, 2 * kMbps, 4 * kMbps}) {
+    const int track = hulu.SelectVideoTrack(MakeInput(&m, bw, 60 * kUsPerSec, 2, 10));
+    EXPECT_LE(m.video_tracks[static_cast<size_t>(track)].nominal_bitrate, bw / 2.0);
+  }
+}
+
+TEST(Adaptation, BufferBasedRisesWithBuffer) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 60 * kUsPerSec);
+  BufferBasedAdaptation bba;
+  const int low = bba.SelectVideoTrack(MakeInput(&m, 0, 5 * kUsPerSec, 0, 5));
+  const int mid = bba.SelectVideoTrack(MakeInput(&m, 0, 30 * kUsPerSec, 0, 5));
+  const int high = bba.SelectVideoTrack(MakeInput(&m, 0, 80 * kUsPerSec, 0, 5));
+  EXPECT_EQ(low, 0);
+  EXPECT_GT(mid, low);
+  EXPECT_EQ(high, m.num_video_tracks() - 1);
+}
+
+TEST(Adaptation, HybridHoldsBackWithoutBufferHeadroom) {
+  const media::Manifest m = MakeAssetForDesign(DesignType::kCH, 0, 60 * kUsPerSec);
+  HybridAdaptation hybrid;
+  // Plenty of bandwidth but no headroom for an upswitch (buffer between the
+  // low-buffer and up-switch thresholds): hold the current track.
+  EXPECT_EQ(hybrid.SelectVideoTrack(MakeInput(&m, 20 * kMbps, 12 * kUsPerSec, 1, 10)), 1);
+  // With a deep buffer the same bandwidth allows the jump.
+  EXPECT_GT(hybrid.SelectVideoTrack(MakeInput(&m, 20 * kMbps, 40 * kUsPerSec, 1, 10)), 1);
+}
+
+TEST(Adaptation, FactoryRejectsUnknownNames) {
+  EXPECT_THROW(MakeAdaptation("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csi::player

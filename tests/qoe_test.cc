@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/csi/qoe.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+namespace {
+
+media::Manifest QoeManifest() {
+  media::Manifest m;
+  m.asset_id = "qoe";
+  for (int t = 0; t < 2; ++t) {
+    media::Track track;
+    track.name = "T" + std::to_string(t);
+    track.nominal_bitrate = (t + 1) * 1000 * kKbps;
+    for (int i = 0; i < 10; ++i) {
+      track.chunks.push_back(media::Chunk{(t + 1) * 500000, 5 * kUsPerSec});
+    }
+    m.video_tracks.push_back(track);
+  }
+  media::Track audio;
+  audio.type = media::MediaType::kAudio;
+  audio.name = "audio";
+  for (int i = 0; i < 10; ++i) {
+    audio.chunks.push_back(media::Chunk{80000, 5 * kUsPerSec});
+  }
+  m.audio_tracks.push_back(audio);
+  return m;
+}
+
+InferredSlot VideoSlot(int track, int index, TimeUs request, TimeUs done) {
+  InferredSlot s;
+  s.kind = SlotKind::kVideo;
+  s.chunk = media::ChunkRef{media::MediaType::kVideo, track, index};
+  s.request_time = request;
+  s.done_time = done;
+  return s;
+}
+
+InferredSlot AudioSlot(int index, TimeUs request, TimeUs done) {
+  InferredSlot s;
+  s.kind = SlotKind::kAudio;
+  s.chunk = media::ChunkRef{media::MediaType::kAudio, 0, index};
+  s.request_time = request;
+  s.done_time = done;
+  return s;
+}
+
+TEST(Qoe, TrackTimeFractionsAndBitrate) {
+  const media::Manifest m = QoeManifest();
+  InferredSequence seq;
+  // 6 chunks on T0, 4 on T1.
+  for (int i = 0; i < 10; ++i) {
+    seq.slots.push_back(
+        VideoSlot(i < 6 ? 0 : 1, i, i * kUsPerSec, i * kUsPerSec + 500 * kUsPerMs));
+  }
+  const QoeReport report = AnalyzeQoe(seq, m);
+  ASSERT_EQ(report.track_time_fraction.size(), 2u);
+  EXPECT_NEAR(report.track_time_fraction[0], 0.6, 1e-9);
+  EXPECT_NEAR(report.track_time_fraction[1], 0.4, 1e-9);
+  EXPECT_NEAR(report.avg_bitrate, 0.6 * 1000 * kKbps + 0.4 * 2000 * kKbps, 1.0);
+  EXPECT_EQ(report.track_switches, 1);
+  EXPECT_EQ(report.data_usage, 6 * 500000 + 4 * 1000000);
+}
+
+TEST(Qoe, AudioCountsTowardDataUsage) {
+  const media::Manifest m = QoeManifest();
+  InferredSequence seq;
+  seq.slots.push_back(VideoSlot(0, 0, 0, kUsPerSec));
+  seq.slots.push_back(AudioSlot(0, 0, kUsPerSec));
+  const QoeReport report = AnalyzeQoe(seq, m);
+  EXPECT_EQ(report.data_usage, 500000 + 80000);
+}
+
+TEST(Qoe, SmoothDownloadHasNoStalls) {
+  const media::Manifest m = QoeManifest();
+  InferredSequence seq;
+  // Every chunk arrives 4 s before it is needed.
+  for (int i = 0; i < 10; ++i) {
+    seq.slots.push_back(VideoSlot(0, i, i * kUsPerSec, i * kUsPerSec + 500 * kUsPerMs));
+  }
+  const QoeReport report = AnalyzeQoe(seq, m);
+  EXPECT_EQ(report.stall_count, 0);
+  EXPECT_EQ(report.total_stall, 0);
+}
+
+TEST(Qoe, LateChunkCausesStall) {
+  const media::Manifest m = QoeManifest();
+  InferredSequence seq;
+  QoeConfig config;
+  config.startup_buffer = 5 * kUsPerSec;  // playback starts after chunk 0
+  // Chunks 0-4 arrive quickly; chunk 5 arrives 60 s late.
+  for (int i = 0; i < 5; ++i) {
+    seq.slots.push_back(VideoSlot(0, i, i * 100 * kUsPerMs, (i + 1) * 100 * kUsPerMs));
+  }
+  seq.slots.push_back(VideoSlot(0, 5, 500 * kUsPerMs, 90 * kUsPerSec));
+  for (int i = 6; i < 10; ++i) {
+    seq.slots.push_back(VideoSlot(0, i, 90 * kUsPerSec, 91 * kUsPerSec));
+  }
+  const QoeReport report = AnalyzeQoe(seq, m, config);
+  EXPECT_GE(report.stall_count, 1);
+  // ~90s arrival vs ~25.1s needed -> roughly 65 s of stall.
+  EXPECT_GT(report.total_stall, 50 * kUsPerSec);
+}
+
+TEST(Qoe, StartupDelayMeasured) {
+  const media::Manifest m = QoeManifest();
+  InferredSequence seq;
+  QoeConfig config;
+  config.startup_buffer = 10 * kUsPerSec;  // needs two 5-s chunks
+  seq.slots.push_back(VideoSlot(0, 0, kUsPerSec, 2 * kUsPerSec));
+  seq.slots.push_back(VideoSlot(0, 1, 2 * kUsPerSec, 4 * kUsPerSec));
+  seq.slots.push_back(VideoSlot(0, 2, 4 * kUsPerSec, 6 * kUsPerSec));
+  const QoeReport report = AnalyzeQoe(seq, m, config);
+  // First request at 1 s, second chunk done at 4 s -> 3 s startup delay.
+  EXPECT_EQ(report.startup_delay, 3 * kUsPerSec);
+}
+
+TEST(Qoe, BufferCurveRisesWhileDownloadingAheadOfPlayback) {
+  const media::Manifest m = QoeManifest();
+  InferredSequence seq;
+  for (int i = 0; i < 10; ++i) {
+    seq.slots.push_back(VideoSlot(0, i, i * kUsPerSec, i * kUsPerSec + 200 * kUsPerMs));
+  }
+  const QoeReport report = AnalyzeQoe(seq, m);
+  ASSERT_GT(report.buffer_curve.size(), 5u);
+  // Early samples: downloads at ~1/s vs playback at 1 content-second per
+  // second of 5-second chunks -> buffer builds up.
+  const TimeUs early = report.buffer_curve[2].level;
+  const TimeUs later = report.buffer_curve[8].level;
+  EXPECT_GT(later, early);
+}
+
+TEST(Qoe, EmptySequenceIsHarmless) {
+  const media::Manifest m = QoeManifest();
+  const QoeReport report = AnalyzeQoe(InferredSequence{}, m);
+  EXPECT_EQ(report.data_usage, 0);
+  EXPECT_EQ(report.stall_count, 0);
+}
+
+}  // namespace
+}  // namespace csi::infer

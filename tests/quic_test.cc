@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tests/transport_harness.h"
+
+namespace csi::transport {
+namespace {
+
+using testutil::TransportHarness;
+
+TEST(QuicConnection, HandshakeCompletes) {
+  TransportHarness h;
+  bool ready = false;
+  ConnectionCallbacks cb;
+  cb.on_ready = [&] { ready = true; };
+  auto* conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().Run();
+  EXPECT_TRUE(ready);
+}
+
+TEST(QuicConnection, InitialCarriesSniAndIsLarge) {
+  TransportHarness h;
+  QuicConfig config;
+  config.sni = "quic.example.net";
+  auto* conn = h.MakeQuic({}, config);
+  conn->Connect();
+  h.sim().Run();
+  bool found = false;
+  for (const auto& r : h.trace()) {
+    if (!r.sni.empty()) {
+      EXPECT_EQ(r.sni, "quic.example.net");
+      EXPECT_TRUE(r.from_client);
+      EXPECT_GE(r.payload, 1200);  // padded Initial
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QuicConnection, PacketNumbersStrictlyIncrease) {
+  TransportHarness h(10 * kMbps, /*downlink_loss=*/0.02, /*seed=*/3);
+  QuicConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 2 * kMB); };
+  conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  conn->SendRequest(400);
+  h.sim().RunUntil(60 * kUsPerSec);
+  uint64_t last_down = 0;
+  for (const auto& r : h.trace()) {
+    if (!r.from_client) {
+      EXPECT_GT(r.quic_packet_number, last_down);
+      last_down = r.quic_packet_number;
+    }
+  }
+}
+
+TEST(QuicConnection, RetransmissionsUseNewPacketNumbersAndInflateEstimate) {
+  // Paper §3.2: an observer cannot remove QUIC retransmissions, so the
+  // payload sum over-estimates — but stays within k = 5% for moderate loss.
+  TransportHarness h(10 * kMbps, /*downlink_loss=*/0.02, /*seed=*/7);
+  QuicConnection* conn = nullptr;
+  bool responded = false;
+  TimeUs request_time = 0;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 3 * kMB); };
+  cb.on_response = [&](uint64_t) { responded = true; };
+  conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  request_time = h.sim().Now();
+  conn->SendRequest(400);
+  h.sim().RunUntil(120 * kUsPerSec);
+  ASSERT_TRUE(responded);
+  Bytes estimate = 0;
+  for (const auto& r : h.trace()) {
+    if (!r.from_client && r.timestamp > request_time && r.payload > 0) {
+      estimate += r.payload - net::kQuicHeaderBytes;
+    }
+  }
+  const Bytes true_size = 3 * kMB;
+  EXPECT_GE(estimate, true_size);                       // Property (1), lower bound
+  EXPECT_LE(static_cast<double>(estimate), 1.05 * true_size);  // k = 5%
+}
+
+TEST(QuicConnection, AckOnlyPacketsStayUnderRequestThreshold) {
+  TransportHarness h;
+  QuicConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 1 * kMB); };
+  conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  const TimeUs request_time = h.sim().Now();
+  conn->SendRequest(400);
+  h.sim().Run();
+  int acks = 0;
+  int requests = 0;
+  for (const auto& r : h.trace()) {
+    if (r.from_client && r.timestamp >= request_time) {
+      if (r.payload < 80) {
+        ++acks;
+      } else {
+        ++requests;
+      }
+    }
+  }
+  EXPECT_GT(acks, 10);      // download generates a stream of small ACKs
+  EXPECT_EQ(requests, 1);   // exactly the one request clears the threshold
+}
+
+TEST(QuicConnection, StreamsMultiplexConcurrently) {
+  TransportHarness h(6 * kMbps);
+  QuicConnection* conn = nullptr;
+  std::map<uint64_t, Bytes> sizes;
+  std::vector<uint64_t> completion_order;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, sizes[ex]); };
+  cb.on_response = [&](uint64_t ex) { completion_order.push_back(ex); };
+  conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  // A large and a small object requested back to back: with round-robin
+  // stream multiplexing the small one finishes first even though it was
+  // requested second.
+  const uint64_t big = conn->SendRequest(300);
+  sizes[big] = 2 * kMB;
+  const uint64_t small = conn->SendRequest(300);
+  sizes[small] = 100 * kKB;
+  h.sim().Run();
+  // Completion-order inversion is only possible when the big stream's data
+  // interleaves with (rather than precedes) the small stream's: transport MUX.
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_EQ(completion_order[0], small);
+  EXPECT_EQ(completion_order[1], big);
+}
+
+TEST(QuicConnection, LossySessionDeliversAllStreams) {
+  TransportHarness h(8 * kMbps, /*downlink_loss=*/0.03, /*seed=*/11);
+  QuicConnection* conn = nullptr;
+  int completed = 0;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 400 * kKB); };
+  cb.on_response = [&](uint64_t) { ++completed; };
+  conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  for (int i = 0; i < 5; ++i) {
+    conn->SendRequest(350);
+  }
+  h.sim().RunUntil(120 * kUsPerSec);
+  EXPECT_EQ(completed, 5);
+}
+
+TEST(QuicConnection, ClientRequestsFlushAsSeparateDatagrams) {
+  // Two requests issued at the same instant must appear as two uplink
+  // packets (the SP2 signal of §5.3.2).
+  TransportHarness h;
+  QuicConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 200 * kKB); };
+  conn = h.MakeQuic(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  const TimeUs t0 = h.sim().Now();
+  conn->SendRequest(350);
+  conn->SendRequest(350);
+  h.sim().Run();
+  int simultaneous_requests = 0;
+  for (const auto& r : h.trace()) {
+    if (r.from_client && r.payload >= 80 && r.timestamp == t0) {
+      ++simultaneous_requests;
+    }
+  }
+  EXPECT_EQ(simultaneous_requests, 2);
+}
+
+TEST(QuicConnection, EstimateNeverUndershootsAcrossLossRates) {
+  // Property (1) lower bound must hold regardless of loss.
+  for (double loss : {0.0, 0.005, 0.01, 0.03}) {
+    TransportHarness h(10 * kMbps, loss, /*seed=*/static_cast<uint64_t>(loss * 1000) + 1);
+    QuicConnection* conn = nullptr;
+    bool responded = false;
+    ConnectionCallbacks cb;
+    cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 1 * kMB); };
+    cb.on_response = [&](uint64_t) { responded = true; };
+    conn = h.MakeQuic(std::move(cb));
+    conn->Connect();
+    h.sim().RunUntil(kUsPerSec);
+    const TimeUs request_time = h.sim().Now();
+    conn->SendRequest(400);
+    h.sim().RunUntil(90 * kUsPerSec);
+    ASSERT_TRUE(responded) << "loss=" << loss;
+    Bytes estimate = 0;
+    for (const auto& r : h.trace()) {
+      if (!r.from_client && r.timestamp > request_time && r.payload > 0) {
+        estimate += r.payload - net::kQuicHeaderBytes;
+      }
+    }
+    EXPECT_GE(estimate, 1 * kMB) << "loss=" << loss;
+  }
+}
+
+}  // namespace
+}  // namespace csi::transport

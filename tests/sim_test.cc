@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace csi::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  TimeUs fired_at = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const uint64_t id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  uint64_t victim = 0;
+  sim.ScheduleAt(10, [&] { sim.Cancel(victim); });
+  victim = sim.ScheduleAt(20, [&] { fired = true; });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.ScheduleAt(200, [&] { ++fired; });
+  sim.ScheduleAt(300, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(250), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 250);
+  // The remaining event still fires later.
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(5000);
+  EXPECT_EQ(sim.Now(), 5000);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  TimeUs fired_at = -1;
+  sim.ScheduleAt(10, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, 1000);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(Simulator, PendingEventsCount) {
+  Simulator sim;
+  const uint64_t a = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, MaxEventsBound) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.ScheduleAfter(1, forever); };
+  sim.ScheduleAt(0, forever);
+  EXPECT_EQ(sim.Run(100), 100u);
+}
+
+}  // namespace
+}  // namespace csi::sim

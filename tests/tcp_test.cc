@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/transport/tls.h"
+#include "tests/transport_harness.h"
+
+namespace csi::transport {
+namespace {
+
+using testutil::TransportHarness;
+
+TEST(Tls, WrappedSizeAddsPerRecordOverhead) {
+  EXPECT_EQ(TlsWrappedSize(0), 0);
+  EXPECT_EQ(TlsWrappedSize(100), 100 + kTlsPerRecordOverhead);
+  EXPECT_EQ(TlsWrappedSize(kTlsMaxRecordPayload), kTlsMaxRecordPayload + kTlsPerRecordOverhead);
+  EXPECT_EQ(TlsWrappedSize(kTlsMaxRecordPayload + 1),
+            kTlsMaxRecordPayload + 1 + 2 * kTlsPerRecordOverhead);
+}
+
+TEST(Tls, OverheadStaysUnderOnePercent) {
+  // The paper's k = 1% bound for HTTPS must cover TLS framing for realistic
+  // chunk sizes.
+  for (Bytes app : {50 * kKB, 200 * kKB, 1 * kMB, 5 * kMB}) {
+    const double inflation =
+        static_cast<double>(TlsWrappedSize(app)) / static_cast<double>(app);
+    EXPECT_LT(inflation, 1.01);
+    EXPECT_GE(inflation, 1.0);
+  }
+}
+
+TEST(TcpConnection, HandshakeCompletes) {
+  TransportHarness h;
+  bool ready = false;
+  ConnectionCallbacks cb;
+  cb.on_ready = [&] { ready = true; };
+  auto* conn = h.MakeTcp(std::move(cb));
+  conn->Connect();
+  h.sim().Run();
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(conn->ready());
+}
+
+TEST(TcpConnection, SniOnClientHello) {
+  TransportHarness h;
+  TcpConfig config;
+  config.sni = "video.example.net";
+  auto* conn = h.MakeTcp({}, config);
+  conn->Connect();
+  h.sim().Run();
+  int sni_packets = 0;
+  for (const auto& r : h.trace()) {
+    if (!r.sni.empty()) {
+      EXPECT_EQ(r.sni, "video.example.net");
+      EXPECT_TRUE(r.from_client);
+      ++sni_packets;
+    }
+  }
+  EXPECT_EQ(sni_packets, 1);
+}
+
+TEST(TcpConnection, RequestResponseExchange) {
+  TransportHarness h;
+  uint64_t server_exchange = 0;
+  Bytes server_bytes = 0;
+  bool responded = false;
+  ConnectionCallbacks cb;
+  TcpTlsConnection* conn = nullptr;
+  cb.on_request = [&](uint64_t ex, Bytes bytes) {
+    server_exchange = ex;
+    server_bytes = bytes;
+    conn->SendResponse(ex, 500 * kKB);
+  };
+  cb.on_response = [&](uint64_t ex) {
+    EXPECT_EQ(ex, server_exchange);
+    responded = true;
+  };
+  conn = h.MakeTcp(std::move(cb));
+  cb = {};
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  ASSERT_TRUE(conn->ready());
+  conn->SendRequest(400);
+  h.sim().Run();
+  EXPECT_TRUE(responded);
+  EXPECT_EQ(server_bytes, 400);
+}
+
+TEST(TcpConnection, ResponsesDeliveredInRequestOrder) {
+  TransportHarness h;
+  std::vector<uint64_t> request_order;
+  std::vector<uint64_t> response_order;
+  TcpTlsConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { request_order.push_back(ex); };
+  cb.on_response = [&](uint64_t ex) { response_order.push_back(ex); };
+  conn = h.MakeTcp(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  const uint64_t first = conn->SendRequest(300);
+  const uint64_t second = conn->SendRequest(300);
+  h.sim().RunUntil(2 * kUsPerSec);
+  // Server answers out of order; the wire preserves HTTP/1.1 ordering.
+  conn->SendResponse(second, 10 * kKB);
+  conn->SendResponse(first, 10 * kKB);
+  h.sim().Run();
+  ASSERT_EQ(response_order.size(), 2u);
+  EXPECT_EQ(response_order[0], first);
+  EXPECT_EQ(response_order[1], second);
+}
+
+TEST(TcpConnection, ProgressReportsMonotonic) {
+  TransportHarness h;
+  std::vector<Bytes> progress;
+  TcpTlsConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 300 * kKB); };
+  cb.on_progress = [&](uint64_t, Bytes received, Bytes total) {
+    progress.push_back(received);
+    EXPECT_LE(received, total);
+  };
+  conn = h.MakeTcp(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  conn->SendRequest(400);
+  h.sim().Run();
+  ASSERT_GT(progress.size(), 2u);
+  for (size_t i = 1; i < progress.size(); ++i) {
+    EXPECT_GE(progress[i], progress[i - 1]);
+  }
+}
+
+TEST(TcpConnection, LossyTransferCompletesAndRetransmitsReuseSeq) {
+  TransportHarness h(/*downlink_rate=*/10 * kMbps, /*downlink_loss=*/0.02, /*seed=*/5);
+  bool responded = false;
+  TcpTlsConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 2 * kMB); };
+  cb.on_response = [&](uint64_t) { responded = true; };
+  conn = h.MakeTcp(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  conn->SendRequest(400);
+  h.sim().RunUntil(120 * kUsPerSec);
+  ASSERT_TRUE(responded);
+  // The capture tap sits behind the lossy link: every surviving downlink data
+  // packet arrives exactly once per transmission; retransmissions reuse the
+  // sequence number, so unique-seq payload sums equal the stream length.
+  std::set<uint64_t> seqs;
+  Bytes unique_payload = 0;
+  for (const auto& r : h.trace()) {
+    if (!r.from_client && r.payload > 0) {
+      if (seqs.insert(r.tcp_seq).second) {
+        unique_payload += r.payload;
+      }
+    }
+  }
+  // Stream = server handshake flight + response (with header) TLS-wrapped.
+  const Bytes expected =
+      kTlsServerFlightBytes + TlsWrappedSize(2 * kMB + TcpConfig{}.response_header_bytes);
+  EXPECT_EQ(unique_payload, expected);
+}
+
+TEST(TcpConnection, ThroughputApproachesLinkRate) {
+  TransportHarness h(/*downlink_rate=*/8 * kMbps);
+  TimeUs done_at = 0;
+  TcpTlsConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 4 * kMB); };
+  cb.on_response = [&](uint64_t) { done_at = h.sim().Now(); };
+  conn = h.MakeTcp(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  const TimeUs start = h.sim().Now();
+  conn->SendRequest(400);
+  h.sim().RunUntil(60 * kUsPerSec);
+  ASSERT_GT(done_at, 0);
+  const double rate = 4.0 * kMB * 8.0 / UsToSeconds(done_at - start);
+  EXPECT_GT(rate, 0.6 * 8 * kMbps);   // utilization above 60%
+  EXPECT_LT(rate, 1.01 * 8 * kMbps);  // cannot beat the link
+}
+
+TEST(TcpConnection, PureAcksHaveNoPayload) {
+  TransportHarness h;
+  TcpTlsConnection* conn = nullptr;
+  ConnectionCallbacks cb;
+  cb.on_request = [&](uint64_t ex, Bytes) { conn->SendResponse(ex, 500 * kKB); };
+  conn = h.MakeTcp(std::move(cb));
+  conn->Connect();
+  h.sim().RunUntil(kUsPerSec);
+  conn->SendRequest(400);
+  h.sim().Run();
+  // During the download, uplink packets are either the request (payload > 0,
+  // exactly one after the handshake) or pure ACKs (payload == 0).
+  int uplink_data_packets = 0;
+  for (const auto& r : h.trace()) {
+    if (r.from_client && r.payload > 0 && r.sni.empty() &&
+        r.timestamp > 500 * kUsPerMs) {
+      ++uplink_data_packets;
+    }
+  }
+  EXPECT_EQ(uplink_data_packets, 1);
+}
+
+}  // namespace
+}  // namespace csi::transport

@@ -1,0 +1,87 @@
+// Shared wiring for transport-level tests: a connection across two emulated
+// links with a capture tap on the client side (mirroring the testbed).
+
+#ifndef CSI_TESTS_TRANSPORT_HARNESS_H_
+#define CSI_TESTS_TRANSPORT_HARNESS_H_
+
+#include <memory>
+
+#include "src/capture/capture.h"
+#include "src/net/link.h"
+#include "src/nettrace/bandwidth_trace.h"
+#include "src/sim/simulator.h"
+#include "src/transport/quic_connection.h"
+#include "src/transport/tcp_connection.h"
+
+namespace csi::testutil {
+
+// Owns the simulator, links, and tap; the connection is created by the test
+// via MakeTcp/MakeQuic so callbacks can capture test state.
+class TransportHarness {
+ public:
+  explicit TransportHarness(BitsPerSec downlink_rate = 20 * kMbps, double downlink_loss = 0.0,
+                            uint64_t seed = 1)
+      : downlink_trace_(nettrace::StableTrace("down", downlink_rate)), tap_(&sim_) {
+    net::LinkConfig down;
+    down.trace = &downlink_trace_;
+    down.propagation_delay = 10 * kUsPerMs;
+    downlink_ = std::make_unique<net::Link>(
+        &sim_, down,
+        downlink_loss > 0
+            ? std::unique_ptr<net::LossModel>(new net::BernoulliLoss(downlink_loss))
+            : std::unique_ptr<net::LossModel>(new net::NoLoss()),
+        Rng(seed), tap_.Tap([this](const net::Packet& p) { DeliverToClient(p); }));
+    net::LinkConfig up;
+    up.propagation_delay = 10 * kUsPerMs;
+    uplink_ = std::make_unique<net::Link>(&sim_, up, std::make_unique<net::NoLoss>(),
+                                          Rng(seed + 1),
+                                          [this](const net::Packet& p) { DeliverToServer(p); });
+  }
+
+  transport::TcpTlsConnection* MakeTcp(transport::ConnectionCallbacks callbacks,
+                                       transport::TcpConfig config = {}) {
+    tcp_ = std::make_unique<transport::TcpTlsConnection>(
+        &sim_, config, tap_.Tap([this](const net::Packet& p) { uplink_->Send(p); }),
+        [this](const net::Packet& p) { downlink_->Send(p); }, std::move(callbacks));
+    return tcp_.get();
+  }
+
+  transport::QuicConnection* MakeQuic(transport::ConnectionCallbacks callbacks,
+                                      transport::QuicConfig config = {}) {
+    quic_ = std::make_unique<transport::QuicConnection>(
+        &sim_, config, tap_.Tap([this](const net::Packet& p) { uplink_->Send(p); }),
+        [this](const net::Packet& p) { downlink_->Send(p); }, std::move(callbacks));
+    return quic_.get();
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  const capture::CaptureTrace& trace() const { return tap_.trace(); }
+
+ private:
+  void DeliverToClient(const net::Packet& p) {
+    if (tcp_) {
+      tcp_->DeliverToClient(p);
+    } else if (quic_) {
+      quic_->DeliverToClient(p);
+    }
+  }
+  void DeliverToServer(const net::Packet& p) {
+    if (tcp_) {
+      tcp_->DeliverToServer(p);
+    } else if (quic_) {
+      quic_->DeliverToServer(p);
+    }
+  }
+
+  sim::Simulator sim_;
+  nettrace::BandwidthTrace downlink_trace_;
+  capture::GatewayTap tap_;
+  std::unique_ptr<net::Link> downlink_;
+  std::unique_ptr<net::Link> uplink_;
+  std::unique_ptr<transport::TcpTlsConnection> tcp_;
+  std::unique_ptr<transport::QuicConnection> quic_;
+};
+
+}  // namespace csi::testutil
+
+#endif  // CSI_TESTS_TRANSPORT_HARNESS_H_

@@ -1,0 +1,167 @@
+// csi_analyze — offline CSI analysis of an encrypted capture.
+//
+// Usage:
+//   csi_analyze --pcap session.pcap --manifest video.manifest --design SH
+//               [--host suffix] [--max-sequences N] [--report sequence|qoe|both]
+//
+// Inputs are exactly what a real deployment has (paper §4): a tcpdump pcap of
+// the encrypted session and the chunk-size manifest collected ahead of time.
+// Prints the inferred chunk sequence(s) and/or the derived QoE report.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/capture/pcap_io.h"
+#include "src/common/table.h"
+#include "src/csi/inference.h"
+#include "src/csi/qoe.h"
+
+using namespace csi;
+
+namespace {
+
+[[noreturn]] void Usage(const char* error) {
+  if (error != nullptr) {
+    std::fprintf(stderr, "error: %s\n\n", error);
+  }
+  std::fprintf(stderr,
+               "usage: csi_analyze --pcap FILE --manifest FILE --design CH|SH|CQ|SQ\n"
+               "                   [--host SUFFIX] [--max-sequences N]\n"
+               "                   [--report sequence|qoe|both]\n");
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+infer::DesignType ParseDesign(const std::string& name) {
+  if (name == "CH") {
+    return infer::DesignType::kCH;
+  }
+  if (name == "SH") {
+    return infer::DesignType::kSH;
+  }
+  if (name == "CQ") {
+    return infer::DesignType::kCQ;
+  }
+  if (name == "SQ") {
+    return infer::DesignType::kSQ;
+  }
+  Usage("unknown design type (expected CH, SH, CQ or SQ)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string pcap_path;
+  std::string manifest_path;
+  std::string design_name;
+  std::string host_suffix;
+  std::string report = "both";
+  int max_sequences = 512;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage(("missing value for " + arg).c_str());
+      }
+      return argv[++i];
+    };
+    if (arg == "--pcap") {
+      pcap_path = next();
+    } else if (arg == "--manifest") {
+      manifest_path = next();
+    } else if (arg == "--design") {
+      design_name = next();
+    } else if (arg == "--host") {
+      host_suffix = next();
+    } else if (arg == "--max-sequences") {
+      max_sequences = std::stoi(next());
+    } else if (arg == "--report") {
+      report = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(nullptr);
+    } else {
+      Usage(("unknown argument: " + arg).c_str());
+    }
+  }
+  if (pcap_path.empty() || manifest_path.empty() || design_name.empty()) {
+    Usage("--pcap, --manifest and --design are required");
+  }
+  if (report != "sequence" && report != "qoe" && report != "both") {
+    Usage("--report must be sequence, qoe or both");
+  }
+
+  const media::Manifest manifest = media::Manifest::Parse(ReadFileOrDie(manifest_path));
+  const capture::CaptureTrace trace = capture::ReadPcap(pcap_path);
+  std::printf("loaded %zu packets, manifest %s: %d video tracks x %d chunks%s\n",
+              trace.size(), manifest.asset_id.c_str(), manifest.num_video_tracks(),
+              manifest.num_positions(),
+              manifest.has_separate_audio() ? " + audio" : "");
+
+  infer::InferenceConfig config;
+  config.design = ParseDesign(design_name);
+  config.max_sequences = max_sequences;
+  if (!host_suffix.empty()) {
+    config.host_suffix = host_suffix;
+  }
+  const infer::InferenceEngine engine(&manifest, config);
+  const infer::InferenceResult result = engine.Analyze(trace);
+  std::printf("inference: %zu candidate sequence(s)%s\n\n", result.sequences.size(),
+              result.truncated ? " (truncated)" : "");
+  if (result.sequences.empty()) {
+    std::fprintf(stderr, "no matching chunk sequence found — wrong manifest or design?\n");
+    return 1;
+  }
+  const infer::InferredSequence& best = result.sequences.front();
+
+  if (report == "sequence" || report == "both") {
+    TextTable table;
+    table.SetHeader({"request (s)", "kind", "track", "index", "estimated bytes"});
+    for (const auto& slot : best.slots) {
+      const char* kind = slot.kind == infer::SlotKind::kVideo   ? "video"
+                         : slot.kind == infer::SlotKind::kAudio ? "audio"
+                                                                : "other";
+      table.AddRow({FormatDouble(UsToSeconds(slot.request_time), 2), kind,
+                    slot.kind == infer::SlotKind::kOther
+                        ? "-"
+                        : manifest.TrackOf(slot.chunk).name,
+                    slot.kind == infer::SlotKind::kOther ? "-"
+                                                         : std::to_string(slot.chunk.index),
+                    std::to_string(slot.estimated_size)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  if (report == "qoe" || report == "both") {
+    const infer::QoeReport qoe = infer::AnalyzeQoe(best, manifest);
+    TextTable table;
+    table.SetHeader({"metric", "value"});
+    table.AddRow({"avg delivered bitrate",
+                  FormatDouble(qoe.avg_bitrate / 1000.0, 0) + " kbps"});
+    table.AddRow({"startup delay", FormatDouble(UsToSeconds(qoe.startup_delay), 2) + " s"});
+    table.AddRow({"stalls", std::to_string(qoe.stall_count)});
+    table.AddRow({"total stall time", FormatDouble(UsToSeconds(qoe.total_stall), 2) + " s"});
+    table.AddRow({"track switches", std::to_string(qoe.track_switches)});
+    table.AddRow({"data usage", FormatBytes(static_cast<double>(qoe.data_usage))});
+    for (int t = 0; t < manifest.num_video_tracks(); ++t) {
+      table.AddRow({"time on " + manifest.video_tracks[static_cast<size_t>(t)].name,
+                    FormatDouble(100 * qoe.track_time_fraction[static_cast<size_t>(t)], 1) +
+                        " %"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
