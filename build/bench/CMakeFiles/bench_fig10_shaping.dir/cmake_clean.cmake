@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_shaping.dir/bench_fig10_shaping.cc.o"
+  "CMakeFiles/bench_fig10_shaping.dir/bench_fig10_shaping.cc.o.d"
+  "bench_fig10_shaping"
+  "bench_fig10_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

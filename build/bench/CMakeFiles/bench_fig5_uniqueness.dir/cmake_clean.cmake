@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_uniqueness.dir/bench_fig5_uniqueness.cc.o"
+  "CMakeFiles/bench_fig5_uniqueness.dir/bench_fig5_uniqueness.cc.o.d"
+  "bench_fig5_uniqueness"
+  "bench_fig5_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec532_group_sizes.dir/bench_sec532_group_sizes.cc.o"
+  "CMakeFiles/bench_sec532_group_sizes.dir/bench_sec532_group_sizes.cc.o.d"
+  "bench_sec532_group_sizes"
+  "bench_sec532_group_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec532_group_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec532_group_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec623_computation_time.dir/bench_sec623_computation_time.cc.o"
+  "CMakeFiles/bench_sec623_computation_time.dir/bench_sec623_computation_time.cc.o.d"
+  "bench_sec623_computation_time"
+  "bench_sec623_computation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec623_computation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec623_computation_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_mux_inference.dir/quic_mux_inference.cpp.o"
+  "CMakeFiles/quic_mux_inference.dir/quic_mux_inference.cpp.o.d"
+  "quic_mux_inference"
+  "quic_mux_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_mux_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shaping_study.dir/shaping_study.cpp.o"
+  "CMakeFiles/shaping_study.dir/shaping_study.cpp.o.d"
+  "shaping_study"
+  "shaping_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shaping_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

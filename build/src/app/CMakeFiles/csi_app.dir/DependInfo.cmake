@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/origin_server.cc" "src/app/CMakeFiles/csi_app.dir/origin_server.cc.o" "gcc" "src/app/CMakeFiles/csi_app.dir/origin_server.cc.o.d"
+  "/root/repo/src/app/resource.cc" "src/app/CMakeFiles/csi_app.dir/resource.cc.o" "gcc" "src/app/CMakeFiles/csi_app.dir/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/csi_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

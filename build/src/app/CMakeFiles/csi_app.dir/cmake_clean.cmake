@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_app.dir/origin_server.cc.o"
+  "CMakeFiles/csi_app.dir/origin_server.cc.o.d"
+  "CMakeFiles/csi_app.dir/resource.cc.o"
+  "CMakeFiles/csi_app.dir/resource.cc.o.d"
+  "libcsi_app.a"
+  "libcsi_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_capture.dir/capture.cc.o"
+  "CMakeFiles/csi_capture.dir/capture.cc.o.d"
+  "CMakeFiles/csi_capture.dir/pcap_io.cc.o"
+  "CMakeFiles/csi_capture.dir/pcap_io.cc.o.d"
+  "libcsi_capture.a"
+  "libcsi_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

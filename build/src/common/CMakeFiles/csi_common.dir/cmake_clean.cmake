@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_common.dir/rng.cc.o"
+  "CMakeFiles/csi_common.dir/rng.cc.o.d"
+  "CMakeFiles/csi_common.dir/stats.cc.o"
+  "CMakeFiles/csi_common.dir/stats.cc.o.d"
+  "CMakeFiles/csi_common.dir/table.cc.o"
+  "CMakeFiles/csi_common.dir/table.cc.o.d"
+  "libcsi_common.a"
+  "libcsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

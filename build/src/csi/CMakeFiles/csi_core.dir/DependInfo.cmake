@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csi/chunk_database.cc" "src/csi/CMakeFiles/csi_core.dir/chunk_database.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/chunk_database.cc.o.d"
+  "/root/repo/src/csi/displayed_info.cc" "src/csi/CMakeFiles/csi_core.dir/displayed_info.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/displayed_info.cc.o.d"
+  "/root/repo/src/csi/flow_classifier.cc" "src/csi/CMakeFiles/csi_core.dir/flow_classifier.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/flow_classifier.cc.o.d"
+  "/root/repo/src/csi/group_search.cc" "src/csi/CMakeFiles/csi_core.dir/group_search.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/group_search.cc.o.d"
+  "/root/repo/src/csi/inference.cc" "src/csi/CMakeFiles/csi_core.dir/inference.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/inference.cc.o.d"
+  "/root/repo/src/csi/metadata_collector.cc" "src/csi/CMakeFiles/csi_core.dir/metadata_collector.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/metadata_collector.cc.o.d"
+  "/root/repo/src/csi/path_search.cc" "src/csi/CMakeFiles/csi_core.dir/path_search.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/path_search.cc.o.d"
+  "/root/repo/src/csi/qoe.cc" "src/csi/CMakeFiles/csi_core.dir/qoe.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/qoe.cc.o.d"
+  "/root/repo/src/csi/size_estimator.cc" "src/csi/CMakeFiles/csi_core.dir/size_estimator.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/size_estimator.cc.o.d"
+  "/root/repo/src/csi/splitter.cc" "src/csi/CMakeFiles/csi_core.dir/splitter.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/splitter.cc.o.d"
+  "/root/repo/src/csi/uniqueness.cc" "src/csi/CMakeFiles/csi_core.dir/uniqueness.cc.o" "gcc" "src/csi/CMakeFiles/csi_core.dir/uniqueness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/csi_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/csi_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/csi_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/csi_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/csi_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/csi_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nettrace/CMakeFiles/csi_nettrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_core.dir/chunk_database.cc.o"
+  "CMakeFiles/csi_core.dir/chunk_database.cc.o.d"
+  "CMakeFiles/csi_core.dir/displayed_info.cc.o"
+  "CMakeFiles/csi_core.dir/displayed_info.cc.o.d"
+  "CMakeFiles/csi_core.dir/flow_classifier.cc.o"
+  "CMakeFiles/csi_core.dir/flow_classifier.cc.o.d"
+  "CMakeFiles/csi_core.dir/group_search.cc.o"
+  "CMakeFiles/csi_core.dir/group_search.cc.o.d"
+  "CMakeFiles/csi_core.dir/inference.cc.o"
+  "CMakeFiles/csi_core.dir/inference.cc.o.d"
+  "CMakeFiles/csi_core.dir/metadata_collector.cc.o"
+  "CMakeFiles/csi_core.dir/metadata_collector.cc.o.d"
+  "CMakeFiles/csi_core.dir/path_search.cc.o"
+  "CMakeFiles/csi_core.dir/path_search.cc.o.d"
+  "CMakeFiles/csi_core.dir/qoe.cc.o"
+  "CMakeFiles/csi_core.dir/qoe.cc.o.d"
+  "CMakeFiles/csi_core.dir/size_estimator.cc.o"
+  "CMakeFiles/csi_core.dir/size_estimator.cc.o.d"
+  "CMakeFiles/csi_core.dir/splitter.cc.o"
+  "CMakeFiles/csi_core.dir/splitter.cc.o.d"
+  "CMakeFiles/csi_core.dir/uniqueness.cc.o"
+  "CMakeFiles/csi_core.dir/uniqueness.cc.o.d"
+  "libcsi_core.a"
+  "libcsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

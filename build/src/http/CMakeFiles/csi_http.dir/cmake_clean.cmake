@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_http.dir/http_session.cc.o"
+  "CMakeFiles/csi_http.dir/http_session.cc.o.d"
+  "libcsi_http.a"
+  "libcsi_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

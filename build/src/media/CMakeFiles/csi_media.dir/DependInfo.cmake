@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/encoder.cc" "src/media/CMakeFiles/csi_media.dir/encoder.cc.o" "gcc" "src/media/CMakeFiles/csi_media.dir/encoder.cc.o.d"
+  "/root/repo/src/media/ladder.cc" "src/media/CMakeFiles/csi_media.dir/ladder.cc.o" "gcc" "src/media/CMakeFiles/csi_media.dir/ladder.cc.o.d"
+  "/root/repo/src/media/manifest.cc" "src/media/CMakeFiles/csi_media.dir/manifest.cc.o" "gcc" "src/media/CMakeFiles/csi_media.dir/manifest.cc.o.d"
+  "/root/repo/src/media/scene_model.cc" "src/media/CMakeFiles/csi_media.dir/scene_model.cc.o" "gcc" "src/media/CMakeFiles/csi_media.dir/scene_model.cc.o.d"
+  "/root/repo/src/media/service_profiles.cc" "src/media/CMakeFiles/csi_media.dir/service_profiles.cc.o" "gcc" "src/media/CMakeFiles/csi_media.dir/service_profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_media.dir/encoder.cc.o"
+  "CMakeFiles/csi_media.dir/encoder.cc.o.d"
+  "CMakeFiles/csi_media.dir/ladder.cc.o"
+  "CMakeFiles/csi_media.dir/ladder.cc.o.d"
+  "CMakeFiles/csi_media.dir/manifest.cc.o"
+  "CMakeFiles/csi_media.dir/manifest.cc.o.d"
+  "CMakeFiles/csi_media.dir/scene_model.cc.o"
+  "CMakeFiles/csi_media.dir/scene_model.cc.o.d"
+  "CMakeFiles/csi_media.dir/service_profiles.cc.o"
+  "CMakeFiles/csi_media.dir/service_profiles.cc.o.d"
+  "libcsi_media.a"
+  "libcsi_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_net.dir/link.cc.o"
+  "CMakeFiles/csi_net.dir/link.cc.o.d"
+  "CMakeFiles/csi_net.dir/token_bucket.cc.o"
+  "CMakeFiles/csi_net.dir/token_bucket.cc.o.d"
+  "libcsi_net.a"
+  "libcsi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

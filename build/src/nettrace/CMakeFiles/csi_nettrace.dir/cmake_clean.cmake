@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_nettrace.dir/bandwidth_trace.cc.o"
+  "CMakeFiles/csi_nettrace.dir/bandwidth_trace.cc.o.d"
+  "libcsi_nettrace.a"
+  "libcsi_nettrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_nettrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_player.dir/abr_player.cc.o"
+  "CMakeFiles/csi_player.dir/abr_player.cc.o.d"
+  "CMakeFiles/csi_player.dir/adaptation.cc.o"
+  "CMakeFiles/csi_player.dir/adaptation.cc.o.d"
+  "libcsi_player.a"
+  "libcsi_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_sim.dir/simulator.cc.o"
+  "CMakeFiles/csi_sim.dir/simulator.cc.o.d"
+  "libcsi_sim.a"
+  "libcsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsi_sim.a"
+)

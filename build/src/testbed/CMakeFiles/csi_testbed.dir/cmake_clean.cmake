@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_testbed.dir/experiment.cc.o"
+  "CMakeFiles/csi_testbed.dir/experiment.cc.o.d"
+  "CMakeFiles/csi_testbed.dir/metrics.cc.o"
+  "CMakeFiles/csi_testbed.dir/metrics.cc.o.d"
+  "CMakeFiles/csi_testbed.dir/session.cc.o"
+  "CMakeFiles/csi_testbed.dir/session.cc.o.d"
+  "libcsi_testbed.a"
+  "libcsi_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/quic_connection.cc" "src/transport/CMakeFiles/csi_transport.dir/quic_connection.cc.o" "gcc" "src/transport/CMakeFiles/csi_transport.dir/quic_connection.cc.o.d"
+  "/root/repo/src/transport/tcp_connection.cc" "src/transport/CMakeFiles/csi_transport.dir/tcp_connection.cc.o" "gcc" "src/transport/CMakeFiles/csi_transport.dir/tcp_connection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nettrace/CMakeFiles/csi_nettrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

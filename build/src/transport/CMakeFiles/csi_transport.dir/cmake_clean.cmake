@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_transport.dir/quic_connection.cc.o"
+  "CMakeFiles/csi_transport.dir/quic_connection.cc.o.d"
+  "CMakeFiles/csi_transport.dir/tcp_connection.cc.o"
+  "CMakeFiles/csi_transport.dir/tcp_connection.cc.o.d"
+  "libcsi_transport.a"
+  "libcsi_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_search_test.dir/group_search_test.cc.o"
+  "CMakeFiles/group_search_test.dir/group_search_test.cc.o.d"
+  "group_search_test"
+  "group_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nettrace_test.dir/nettrace_test.cc.o"
+  "CMakeFiles/nettrace_test.dir/nettrace_test.cc.o.d"
+  "nettrace_test"
+  "nettrace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nettrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

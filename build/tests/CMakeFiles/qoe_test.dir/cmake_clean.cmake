@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_test.dir/qoe_test.cc.o"
+  "CMakeFiles/qoe_test.dir/qoe_test.cc.o.d"
+  "qoe_test"
+  "qoe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_test.dir/quic_test.cc.o"
+  "CMakeFiles/quic_test.dir/quic_test.cc.o.d"
+  "quic_test"
+  "quic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

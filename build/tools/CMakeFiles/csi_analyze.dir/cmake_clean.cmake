@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_analyze.dir/csi_analyze.cc.o"
+  "CMakeFiles/csi_analyze.dir/csi_analyze.cc.o.d"
+  "csi_analyze"
+  "csi_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/csi_testgen.cc" "tools/CMakeFiles/csi_testgen.dir/csi_testgen.cc.o" "gcc" "tools/CMakeFiles/csi_testgen.dir/csi_testgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/csi_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/csi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/csi_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/csi_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/csi_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/csi_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/csi_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/csi_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nettrace/CMakeFiles/csi_nettrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

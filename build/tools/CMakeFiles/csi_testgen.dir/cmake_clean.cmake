@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_testgen.dir/csi_testgen.cc.o"
+  "CMakeFiles/csi_testgen.dir/csi_testgen.cc.o.d"
+  "csi_testgen"
+  "csi_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
