@@ -6,7 +6,9 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "src/csi/batch_analyzer.h"
 #include "src/csi/inference.h"
 #include "src/testbed/experiment.h"
 
@@ -60,6 +62,50 @@ void BM_DatabaseBuild(benchmark::State& state) {
   }
 }
 
+// The deployment workload: a batch of concurrent sessions of one service,
+// fanned out across a worker pool over one shared ChunkDatabase. Reported
+// items/sec is sessions/sec.
+struct PreparedBatch {
+  media::Manifest manifest;
+  std::vector<capture::CaptureTrace> traces;
+};
+
+const PreparedBatch& PrepareBatch() {
+  static std::unique_ptr<PreparedBatch> cache;
+  if (cache == nullptr) {
+    cache = std::make_unique<PreparedBatch>();
+    const TimeUs duration = 2 * 60 * kUsPerSec;
+    cache->manifest = testbed::MakeAssetForDesign(infer::DesignType::kSH, 1, duration);
+    for (int i = 0; i < 8; ++i) {
+      testbed::SessionConfig config;
+      config.design = infer::DesignType::kSH;
+      config.manifest = &cache->manifest;
+      Rng rng(0x800 + static_cast<uint64_t>(i));
+      config.downlink = nettrace::CellularTrace("bench", (4 + i % 4) * kMbps, 0.4, duration,
+                                                2 * kUsPerSec, rng);
+      config.duration = duration;
+      config.seed = 4000 + static_cast<uint64_t>(i);
+      cache->traces.push_back(RunStreamingSession(config).capture);
+    }
+  }
+  return *cache;
+}
+
+void BM_BatchInference(benchmark::State& state) {
+  const PreparedBatch& prepared = PrepareBatch();
+  infer::InferenceConfig config;
+  config.design = infer::DesignType::kSH;
+  infer::BatchConfig batch;
+  batch.threads = static_cast<int>(state.range(0));
+  infer::BatchAnalyzer analyzer(&prepared.manifest, config, batch);
+  for (auto _ : state) {
+    auto results = analyzer.AnalyzeAll(prepared.traces);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(prepared.traces.size()));
+  state.counters["batch_size"] = static_cast<double>(prepared.traces.size());
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Inference, CH_10min_trace, infer::DesignType::kCH)
@@ -71,5 +117,13 @@ BENCHMARK_CAPTURE(BM_Inference, CQ_10min_trace, infer::DesignType::kCQ)
 BENCHMARK_CAPTURE(BM_Inference, SQ_10min_trace, infer::DesignType::kSQ)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DatabaseBuild)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BatchInference)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

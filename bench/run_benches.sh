@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs google-benchmark suites, writing a combined
+# BENCH_<tag>.json at the repo root via --benchmark_format=json.
+#
+# Usage: bench/run_benches.sh [tag] [bench_name...]
+#   tag          suffix of the output file (default: pr1)
+#   bench_name   restrict to these suites (default: every bench_* binary)
+set -euo pipefail
+
+TAG="${1:-pr1}"
+shift $(( $# > 0 ? 1 : 0 ))
+ONLY=("$@")
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$REPO/build-bench"
+
+cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release >/dev/null
+if (( ${#ONLY[@]} > 0 )); then
+  cmake --build "$BUILD" -j "$(nproc)" --target "${ONLY[@]}" >/dev/null
+else
+  cmake --build "$BUILD" -j "$(nproc)" >/dev/null
+fi
+
+OUT="$REPO/BENCH_${TAG}.json"
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
+benches=()
+for bin in "$BUILD"/bench/bench_*; do
+  [[ -x "$bin" ]] || continue
+  name="$(basename "$bin")"
+  if (( ${#ONLY[@]} > 0 )); then
+    keep=0
+    for want in "${ONLY[@]}"; do [[ "$name" == "$want" ]] && keep=1; done
+    (( keep )) || continue
+  fi
+  echo "== $name" >&2
+  "$bin" --benchmark_format=json --benchmark_out="$TMPDIR_BENCH/$name.json" \
+         --benchmark_out_format=json >&2
+  benches+=("$TMPDIR_BENCH/$name.json")
+done
+
+# Merge: keep the context of the first suite, concatenate all benchmarks.
+python3 - "$OUT" "${benches[@]}" <<'EOF'
+import json, sys
+out, files = sys.argv[1], sys.argv[2:]
+merged = None
+for path in files:
+    with open(path) as f:
+        data = json.load(f)
+    if merged is None:
+        merged = data
+    else:
+        merged["benchmarks"].extend(data["benchmarks"])
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2)
+print(out)
+EOF

@@ -1,0 +1,50 @@
+#include "src/csi/batch_analyzer.h"
+
+#include <thread>
+
+namespace csi::infer {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+BatchAnalyzer::BatchAnalyzer(const media::Manifest* manifest, InferenceConfig config,
+                             BatchConfig batch)
+    : batch_(batch),
+      pool_(ResolveThreads(batch.threads)),
+      engine_(manifest,
+              [&]() {
+                if (batch.parallel_group_search) {
+                  config.search_pool = &pool_;
+                }
+                return std::move(config);
+              }()) {}
+
+std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
+    const std::vector<const capture::CaptureTrace*>& traces) {
+  std::vector<InferenceResult> results(traces.size());
+  pool_.ParallelFor(static_cast<int64_t>(traces.size()), [&](int64_t i) {
+    results[static_cast<size_t>(i)] = engine_.Analyze(*traces[static_cast<size_t>(i)]);
+  });
+  return results;
+}
+
+std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
+    const std::vector<capture::CaptureTrace>& traces) {
+  std::vector<const capture::CaptureTrace*> pointers;
+  pointers.reserve(traces.size());
+  for (const capture::CaptureTrace& trace : traces) {
+    pointers.push_back(&trace);
+  }
+  return AnalyzeAll(pointers);
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,57 @@
+// Parallel batch-inference engine.
+//
+// The deployment-scale workload is many concurrent sessions of the *same*
+// service (one manifest, one fingerprint database), not one capture at a
+// time: a gateway tap produces a stream of per-device traces that all need
+// Step 1 + Step 2 analysis. BatchAnalyzer owns one InferenceEngine — and
+// therefore one immutable ChunkDatabase shared by every worker — and fans
+// Analyze calls for N traces out across a fixed thread pool.
+//
+// Determinism: results land in the output vector by input index, and the
+// per-trace analysis itself is scheduling-independent, so AnalyzeAll returns
+// bit-identical results for any worker count (tested in
+// batch_analyzer_test).
+
+#ifndef CSI_SRC_CSI_BATCH_ANALYZER_H_
+#define CSI_SRC_CSI_BATCH_ANALYZER_H_
+
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/csi/inference.h"
+
+namespace csi::infer {
+
+struct BatchConfig {
+  // Worker threads for the trace fan-out; 0 means hardware concurrency.
+  int threads = 0;
+  // Also hand the pool to each trace's SQ candidate enumeration
+  // (GroupSearchConfig::pool). Off by default: with a full batch the
+  // per-trace fan-out already saturates the pool, and intra-trace
+  // parallelism only helps when analyzing fewer traces than workers.
+  bool parallel_group_search = false;
+};
+
+class BatchAnalyzer {
+ public:
+  // `manifest` must outlive the analyzer (same contract as InferenceEngine).
+  BatchAnalyzer(const media::Manifest* manifest, InferenceConfig config,
+                BatchConfig batch = {});
+
+  // Analyzes traces[i] into result[i]. Blocks until the whole batch is done.
+  std::vector<InferenceResult> AnalyzeAll(
+      const std::vector<const capture::CaptureTrace*>& traces);
+  std::vector<InferenceResult> AnalyzeAll(const std::vector<capture::CaptureTrace>& traces);
+
+  const InferenceEngine& engine() const { return engine_; }
+  int threads() const { return pool_.num_workers(); }
+
+ private:
+  BatchConfig batch_;
+  ThreadPool pool_;
+  InferenceEngine engine_;
+};
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_BATCH_ANALYZER_H_

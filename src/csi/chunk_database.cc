@@ -2,22 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace csi::infer {
 
 ChunkDatabase::ChunkDatabase(const media::Manifest* manifest) : manifest_(manifest) {
   num_tracks_ = manifest->num_video_tracks();
   num_positions_ = manifest->num_positions();
-  by_size_.resize(static_cast<size_t>(num_tracks_));
+  const size_t total = static_cast<size_t>(num_tracks_) * static_cast<size_t>(num_positions_);
+  size_of_.resize(total);
   min_at_.assign(static_cast<size_t>(num_positions_), 0);
   max_at_.assign(static_cast<size_t>(num_positions_), 0);
+  sizes_.resize(total);
+  packed_refs_.resize(total);
+  size_t flat = 0;
   for (int t = 0; t < num_tracks_; ++t) {
     const auto& chunks = manifest->video_tracks[static_cast<size_t>(t)].chunks;
-    auto& list = by_size_[static_cast<size_t>(t)];
-    list.reserve(chunks.size());
     for (int i = 0; i < num_positions_; ++i) {
       const Bytes size = chunks[static_cast<size_t>(i)].size;
-      list.emplace_back(size, i);
+      size_of_[static_cast<size_t>(t) * static_cast<size_t>(num_positions_) +
+               static_cast<size_t>(i)] = size;
+      sizes_[flat] = size;
+      packed_refs_[flat] = PackRef(t, i);
+      ++flat;
       if (t == 0) {
         min_at_[static_cast<size_t>(i)] = size;
         max_at_[static_cast<size_t>(i)] = size;
@@ -26,26 +33,71 @@ ChunkDatabase::ChunkDatabase(const media::Manifest* manifest) : manifest_(manife
         max_at_[static_cast<size_t>(i)] = std::max(max_at_[static_cast<size_t>(i)], size);
       }
     }
-    std::sort(list.begin(), list.end());
   }
+  // Sort both arrays together by (size, track, index). Packed refs were
+  // emitted track-major, so for equal sizes the packed word itself is the
+  // (track, index) tiebreak.
+  std::vector<uint32_t> order(total);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    if (sizes_[a] != sizes_[b]) {
+      return sizes_[a] < sizes_[b];
+    }
+    return packed_refs_[a] < packed_refs_[b];
+  });
+  std::vector<Bytes> sorted_sizes(total);
+  std::vector<uint32_t> sorted_refs(total);
+  for (size_t i = 0; i < total; ++i) {
+    sorted_sizes[i] = sizes_[order[i]];
+    sorted_refs[i] = packed_refs_[order[i]];
+  }
+  sizes_ = std::move(sorted_sizes);
+  packed_refs_ = std::move(sorted_refs);
+
   for (const auto& track : manifest->audio_tracks) {
     audio_sizes_.push_back(track.chunks.empty() ? 0 : track.chunks[0].size);
   }
 }
 
-std::vector<media::ChunkRef> ChunkDatabase::VideoCandidates(Bytes estimated, double k) const {
+Bytes ChunkDatabase::AdmissibleLow(Bytes estimated, double k) {
+  return static_cast<Bytes>(std::ceil(static_cast<double>(estimated) / (1.0 + k)));
+}
+
+std::pair<size_t, size_t> ChunkDatabase::FlatRange(Bytes lo, Bytes hi) const {
+  const auto first = std::lower_bound(sizes_.begin(), sizes_.end(), lo);
+  const auto last = std::upper_bound(first, sizes_.end(), hi);
+  return {static_cast<size_t>(first - sizes_.begin()),
+          static_cast<size_t>(last - sizes_.begin())};
+}
+
+std::vector<media::ChunkRef> ChunkDatabase::VideoCandidatesInSizeRange(Bytes lo,
+                                                                       Bytes hi) const {
   std::vector<media::ChunkRef> out;
-  const Bytes lo =
-      static_cast<Bytes>(std::ceil(static_cast<double>(estimated) / (1.0 + k)));
-  const Bytes hi = estimated;
-  for (int t = 0; t < num_tracks_; ++t) {
-    const auto& list = by_size_[static_cast<size_t>(t)];
-    auto first = std::lower_bound(list.begin(), list.end(), std::make_pair(lo, -1));
-    for (auto it = first; it != list.end() && it->first <= hi; ++it) {
-      out.push_back(media::ChunkRef{media::MediaType::kVideo, t, it->second});
-    }
+  const auto [first, last] = FlatRange(lo, hi);
+  out.reserve(last - first);
+  for (size_t i = first; i < last; ++i) {
+    const uint32_t packed = packed_refs_[i];
+    out.push_back(
+        media::ChunkRef{media::MediaType::kVideo, TrackOfPacked(packed), IndexOfPacked(packed)});
   }
   return out;
+}
+
+std::vector<media::ChunkRef> ChunkDatabase::VideoCandidates(Bytes estimated, double k) const {
+  std::vector<media::ChunkRef> out = VideoCandidatesInSizeRange(AdmissibleLow(estimated, k),
+                                                                estimated);
+  // Historical (track-major) ordering: downstream path-search enumeration
+  // order, and therefore output sequence order, depends on it.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const media::ChunkRef& a, const media::ChunkRef& b) {
+                     return a.track < b.track;
+                   });
+  return out;
+}
+
+bool ChunkDatabase::HasVideoCandidate(Bytes estimated, double k) const {
+  const auto [first, last] = FlatRange(AdmissibleLow(estimated, k), estimated);
+  return first < last;
 }
 
 bool ChunkDatabase::AudioPossible(Bytes estimated, double k) const {
@@ -63,10 +115,30 @@ int ChunkDatabase::MatchingAudioTrack(Bytes estimated, double k) const {
   return -1;
 }
 
-Bytes ChunkDatabase::VideoSize(int track, int index) const {
-  return manifest_->video_tracks[static_cast<size_t>(track)]
-      .chunks[static_cast<size_t>(index)]
-      .size;
+const std::vector<media::ChunkRef>& CandidateQueryCache::VideoCandidates(Bytes estimated,
+                                                                         double k) {
+  const std::pair<Bytes, Bytes> window{ChunkDatabase::AdmissibleLow(estimated, k), estimated};
+  auto it = track_ordered_memo_.find(window);
+  if (it != track_ordered_memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return track_ordered_memo_.emplace(window, db_->VideoCandidates(estimated, k))
+      .first->second;
+}
+
+const std::vector<media::ChunkRef>& CandidateQueryCache::VideoCandidatesInSizeRange(Bytes lo,
+                                                                                    Bytes hi) {
+  const std::pair<Bytes, Bytes> window{lo, hi};
+  auto it = flat_ordered_memo_.find(window);
+  if (it != flat_ordered_memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return flat_ordered_memo_.emplace(window, db_->VideoCandidatesInSizeRange(lo, hi))
+      .first->second;
 }
 
 }  // namespace csi::infer

@@ -4,10 +4,19 @@
 // this answers the Step 2.1 query: given an estimated size S~ and the error
 // bound k, which chunks satisfy Property (1): S <= S~ <= (1+k)S, i.e.
 // S in [S~/(1+k), S~]?
+//
+// Storage is a single flat size-sorted index over *all* video chunks (SoA:
+// one contiguous sizes array plus a parallel packed (track, index) array), so
+// a range query is one lower_bound/upper_bound pair over contiguous memory
+// instead of one binary search per track. The database is immutable after
+// construction and safe to share across threads (batch inference fans many
+// Analyze calls out over one instance).
 
 #ifndef CSI_SRC_CSI_CHUNK_DATABASE_H_
 #define CSI_SRC_CSI_CHUNK_DATABASE_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/units.h"
@@ -20,8 +29,19 @@ class ChunkDatabase {
   explicit ChunkDatabase(const media::Manifest* manifest);
 
   // All video chunks whose true size could have produced estimate
-  // `estimated` under error bound `k`.
+  // `estimated` under error bound `k`. Ordered by (track, size, index).
   std::vector<media::ChunkRef> VideoCandidates(Bytes estimated, double k) const;
+
+  // All video chunks with true size in [lo, hi], in flat-index order
+  // (ascending size; ties by track then index).
+  std::vector<media::ChunkRef> VideoCandidatesInSizeRange(Bytes lo, Bytes hi) const;
+
+  // True iff VideoCandidates(estimated, k) would be non-empty — one range
+  // probe, no allocation.
+  bool HasVideoCandidate(Bytes estimated, double k) const;
+
+  // Smallest admissible true size for estimate S~ under bound k: ceil(S~/(1+k)).
+  static Bytes AdmissibleLow(Bytes estimated, double k);
 
   // True if some audio chunk size satisfies Property (1) for `estimated`.
   // Audio tracks are CBR (constant size per track, §5.2).
@@ -33,7 +53,10 @@ class ChunkDatabase {
   const std::vector<Bytes>& audio_sizes() const { return audio_sizes_; }
 
   // Size of video chunk (track, index).
-  Bytes VideoSize(int track, int index) const;
+  Bytes VideoSize(int track, int index) const {
+    return size_of_[static_cast<size_t>(track) * static_cast<size_t>(num_positions_) +
+                    static_cast<size_t>(index)];
+  }
   int num_video_tracks() const { return num_tracks_; }
   int num_positions() const { return num_positions_; }
   // Smallest/largest video chunk size at a playback position.
@@ -43,14 +66,72 @@ class ChunkDatabase {
   const media::Manifest* manifest() const { return manifest_; }
 
  private:
+  // Packs (track, index) into one word of the flat index.
+  static uint32_t PackRef(int track, int index) {
+    return (static_cast<uint32_t>(track) << 20) | static_cast<uint32_t>(index);
+  }
+  static int TrackOfPacked(uint32_t packed) { return static_cast<int>(packed >> 20); }
+  static int IndexOfPacked(uint32_t packed) {
+    return static_cast<int>(packed & ((1u << 20) - 1));
+  }
+
+  // [first, last) half-open range of flat-index slots with size in [lo, hi].
+  std::pair<size_t, size_t> FlatRange(Bytes lo, Bytes hi) const;
+
   const media::Manifest* manifest_;
   int num_tracks_ = 0;
   int num_positions_ = 0;
-  // Per track: (size, index) sorted by size, for range queries.
-  std::vector<std::vector<std::pair<Bytes, int>>> by_size_;
+  // Flat global index, sorted by (size, track, index). `sizes_[i]` and
+  // `packed_refs_[i]` describe the same chunk.
+  std::vector<Bytes> sizes_;
+  std::vector<uint32_t> packed_refs_;
+  // Row-major (track-major) copy of all chunk sizes for O(1) VideoSize
+  // without chasing manifest pointers in the DFS hot loop.
+  std::vector<Bytes> size_of_;
   std::vector<Bytes> audio_sizes_;
   std::vector<Bytes> min_at_;
   std::vector<Bytes> max_at_;
+};
+
+// Memo cache for repeated size-range queries against one ChunkDatabase.
+//
+// Real traces repeat sizes heavily (CBR audio chunks, re-downloaded and
+// co-sized video chunks), so candidate queries for the same (estimate, k) —
+// equivalently the same admissible byte window — recur many times within one
+// analysis. The cache is deliberately *per analysis call*, not per database:
+// it is single-threaded by construction, which keeps the shared ChunkDatabase
+// free of mutable state and race-free under batch inference.
+class CandidateQueryCache {
+ public:
+  explicit CandidateQueryCache(const ChunkDatabase* db) : db_(db) {}
+
+  // Cached ChunkDatabase::VideoCandidates(estimated, k).
+  const std::vector<media::ChunkRef>& VideoCandidates(Bytes estimated, double k);
+  // Cached ChunkDatabase::VideoCandidatesInSizeRange(lo, hi).
+  const std::vector<media::ChunkRef>& VideoCandidatesInSizeRange(Bytes lo, Bytes hi);
+
+  const ChunkDatabase& db() const { return *db_; }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct WindowHash {
+    size_t operator()(const std::pair<Bytes, Bytes>& w) const {
+      return std::hash<Bytes>()(w.first) ^ (std::hash<Bytes>()(w.second) * 0x9E3779B97F4A7C15ull);
+    }
+  };
+
+  using WindowMemo =
+      std::unordered_map<std::pair<Bytes, Bytes>, std::vector<media::ChunkRef>, WindowHash>;
+
+  const ChunkDatabase* db_;
+  // Keyed on the admissible byte window [lo, hi]; a (estimate, k) query maps
+  // to ([AdmissibleLow(estimate, k), estimate]). Two memos because the two
+  // entry points guarantee different orderings.
+  WindowMemo track_ordered_memo_;
+  WindowMemo flat_ordered_memo_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 }  // namespace csi::infer

@@ -35,6 +35,130 @@ struct SizeBounds {
   }
 };
 
+// One (other-object mask, phantom deficit) interpretation of a group: how
+// many audio chunks and which known objects accompany the video run, and the
+// admissible window for the total *true* video bytes (Property (1)).
+struct ObjectSplit {
+  int audio_count = 0;
+  int other_count = 0;
+  Bytes other_bytes = 0;
+  Bytes video_lo = 0;  // window for the video-byte sum; lo may be <= 0
+  Bytes video_hi = 0;
+  int video_count = 0;
+};
+
+// All (mask, deficit, v) splits of the group's requests, in the fixed
+// enumeration order (mask outer, then deficit, then video count). Splits
+// depend only on the group and config, never on the start range — computing
+// them once up front is what lets per-start work be partitioned freely.
+std::vector<ObjectSplit> EnumerateObjectSplits(const TrafficGroup& group,
+                                               const ChunkDatabase& db,
+                                               const GroupSearchConfig& config) {
+  std::vector<ObjectSplit> splits;
+  const int n_req = group.num_requests();
+  const Bytes audio_size = db.audio_sizes().empty() ? 0 : db.audio_sizes()[0];
+  const int num_others = static_cast<int>(config.other_object_sizes.size());
+  const int num_masks = 1 << std::min(num_others, 8);
+  for (int mask = 0; mask < num_masks; ++mask) {
+    Bytes other_bytes = 0;
+    int other_count = 0;
+    for (int b = 0; b < num_others; ++b) {
+      if ((mask >> b) & 1) {
+        other_bytes += config.other_object_sizes[static_cast<size_t>(b)];
+        ++other_count;
+      }
+    }
+    if (other_count > n_req) {
+      continue;
+    }
+    const int max_deficit = std::min(config.max_phantom_requests, n_req - other_count);
+    for (int deficit = 0; deficit <= max_deficit; ++deficit) {
+      const int n_objects = n_req - deficit;
+      for (int v = 0; v + other_count <= n_objects; ++v) {
+        const int a = n_objects - other_count - v;
+        if (a > 0 && audio_size <= 0) {
+          continue;  // no audio tracks to explain these requests
+        }
+        const double estimate = static_cast<double>(group.estimated_total);
+        ObjectSplit split;
+        split.audio_count = a;
+        split.other_count = other_count;
+        split.other_bytes = other_bytes;
+        split.video_count = v;
+        split.video_hi = static_cast<Bytes>(estimate) - other_bytes - a * audio_size;
+        split.video_lo = static_cast<Bytes>(std::ceil(estimate / (1.0 + config.k))) -
+                         other_bytes - a * audio_size;
+        if (split.video_hi < 0) {
+          continue;
+        }
+        splits.push_back(split);
+      }
+    }
+  }
+  return splits;
+}
+
+// DFS over per-position track choices for one (start, split). Plain struct
+// recursion: this is the innermost hot loop and a std::function-based
+// closure costs an indirect call per node.
+struct RunDfs {
+  const ChunkDatabase& db;
+  const SizeBounds& bounds;
+  const DisplayConstraints& display;
+  const ObjectSplit& split;
+  int start = 0;
+  int tracks = 0;
+  Bytes audio_size = 0;
+  int64_t node_budget = 0;
+  int candidate_budget = 0;
+  std::vector<GroupCandidate>* out = nullptr;
+  std::vector<int> chosen;
+  bool capped = false;
+
+  // Returns false to unwind (budget exhausted).
+  bool Walk(int depth, Bytes acc) {
+    if (--node_budget < 0) {
+      capped = true;
+      return false;
+    }
+    const int v = split.video_count;
+    if (depth == v) {
+      if (acc >= split.video_lo && acc <= split.video_hi) {
+        GroupCandidate c;
+        c.video_start = start;
+        c.tracks = chosen;
+        c.audio_count = split.audio_count;
+        c.other_count = split.other_count;
+        c.implied_total = acc + split.audio_count * audio_size + split.other_bytes;
+        out->push_back(std::move(c));
+        if (static_cast<int>(out->size()) >= candidate_budget) {
+          capped = true;
+          return false;
+        }
+      }
+      return true;
+    }
+    const int index = start + depth;
+    const Bytes rem_min = bounds.MinSum(index + 1, start + v);
+    const Bytes rem_max = bounds.MaxSum(index + 1, start + v);
+    auto constraint = display.find(index);
+    for (int t = 0; t < tracks; ++t) {
+      if (constraint != display.end() && constraint->second != t) {
+        continue;
+      }
+      const Bytes total = acc + db.VideoSize(t, index);
+      if (total + rem_min > split.video_hi || total + rem_max < split.video_lo) {
+        continue;
+      }
+      chosen[static_cast<size_t>(depth)] = t;
+      if (!Walk(depth + 1, total)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
 }  // namespace
 
 std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
@@ -42,7 +166,8 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                                                      const GroupSearchConfig& config,
                                                      const DisplayConstraints& display,
                                                      int start_lo, int start_hi,
-                                                     bool* truncated) {
+                                                     bool* truncated,
+                                                     CandidateQueryCache* cache) {
   std::vector<GroupCandidate> candidates;
   const int n_req = group.num_requests();
   if (n_req == 0) {
@@ -57,126 +182,128 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
     return candidates;
   }
   const Bytes audio_size = db.audio_sizes().empty() ? 0 : db.audio_sizes()[0];
-  const SizeBounds bounds(db);
   const int positions = db.num_positions();
   const int tracks = db.num_video_tracks();
   start_lo = std::max(start_lo, 0);
   start_hi = std::min(start_hi, positions - 1);
 
-  const int num_others = static_cast<int>(config.other_object_sizes.size());
-  const int num_masks = 1 << std::min(num_others, 8);
-
-  int64_t dfs_nodes = 0;
+  const std::vector<ObjectSplit> splits = EnumerateObjectSplits(group, db, config);
   bool capped_flag = false;
-  auto capped = [&]() {
-    if (static_cast<int>(candidates.size()) >= config.max_candidates_per_group ||
-        dfs_nodes > config.max_dfs_nodes) {
-      capped_flag = true;
-      return true;
-    }
-    return false;
-  };
 
-  for (int mask = 0; mask < num_masks && !capped_flag; ++mask) {
-    Bytes other_bytes = 0;
-    int other_count = 0;
-    for (int b = 0; b < num_others; ++b) {
-      if ((mask >> b) & 1) {
-        other_bytes += config.other_object_sizes[static_cast<size_t>(b)];
-        ++other_count;
-      }
+  // Video-free explanations (start-agnostic): valid when the window admits
+  // zero video bytes.
+  for (const ObjectSplit& split : splits) {
+    if (split.video_count == 0 && split.video_lo <= 0) {
+      GroupCandidate c;
+      c.audio_count = split.audio_count;
+      c.other_count = split.other_count;
+      c.implied_total = split.audio_count * audio_size + split.other_bytes;
+      candidates.push_back(std::move(c));
     }
-    if (other_count > n_req) {
+  }
+
+  // Single-chunk runs: the flat size index answers "which chunks have true
+  // size inside this window" in one lower_bound/upper_bound pair, replacing
+  // the per-start-per-track scan. This is the whole video enumeration for
+  // non-MUX designs (every exchange is a 1-request group).
+  for (const ObjectSplit& split : splits) {
+    if (split.video_count != 1 || start_lo > start_hi) {
       continue;
     }
-    const int max_deficit = std::min(config.max_phantom_requests, n_req - other_count);
-    for (int deficit = 0; deficit <= max_deficit && !capped_flag; ++deficit) {
-    const int n_objects = n_req - deficit;
-    for (int v = 0; v + other_count <= n_objects && !capped_flag; ++v) {
-      const int a = n_objects - other_count - v;
-      if (a > 0 && audio_size <= 0) {
-        continue;  // no audio tracks to explain these requests
-      }
-      // Admissible window for the total *true* video bytes (Property (1)).
-      const double estimate = static_cast<double>(group.estimated_total);
-      const Bytes hi = static_cast<Bytes>(estimate) - other_bytes - a * audio_size;
-      const Bytes lo = static_cast<Bytes>(std::ceil(estimate / (1.0 + config.k))) -
-                       other_bytes - a * audio_size;
-      if (hi < 0) {
+    const Bytes lo = std::max<Bytes>(split.video_lo, 0);
+    std::vector<media::ChunkRef> hits_storage;
+    const std::vector<media::ChunkRef>* hits;
+    if (cache != nullptr) {
+      hits = &cache->VideoCandidatesInSizeRange(lo, split.video_hi);
+    } else {
+      hits_storage = db.VideoCandidatesInSizeRange(lo, split.video_hi);
+      hits = &hits_storage;
+    }
+    std::vector<media::ChunkRef> admitted;
+    for (const media::ChunkRef& ref : *hits) {
+      if (ref.index < start_lo || ref.index > start_hi) {
         continue;
       }
-      if (v == 0) {
-        // All requests are audio/other: valid when the window admits zero
-        // video bytes.
-        if (lo <= 0) {
-          GroupCandidate c;
-          c.audio_count = a;
-          c.other_count = other_count;
-          c.implied_total = a * audio_size + other_bytes;
-          candidates.push_back(std::move(c));
-          if (capped()) {
-            break;
-          }
-        }
+      auto constraint = display.find(ref.index);
+      if (constraint != display.end() && constraint->second != ref.track) {
         continue;
       }
-      for (int s = start_lo; s <= start_hi && s + v <= positions && !capped_flag; ++s) {
-        if (bounds.MinSum(s, s + v) > hi || bounds.MaxSum(s, s + v) < lo) {
+      admitted.push_back(ref);
+    }
+    // Flat-index order is (size, track, index); emit in (start, track) order
+    // so the pre-rank ordering matches the longer-run enumeration below.
+    std::sort(admitted.begin(), admitted.end(),
+              [](const media::ChunkRef& a, const media::ChunkRef& b) {
+                if (a.index != b.index) {
+                  return a.index < b.index;
+                }
+                return a.track < b.track;
+              });
+    for (const media::ChunkRef& ref : admitted) {
+      GroupCandidate c;
+      c.video_start = ref.index;
+      c.tracks = {ref.track};
+      c.audio_count = split.audio_count;
+      c.other_count = split.other_count;
+      c.implied_total =
+          db.VideoSize(ref.track, ref.index) + split.audio_count * audio_size + split.other_bytes;
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  // Multi-chunk runs: DFS per start index. Each start gets budgets that are a
+  // function of the query alone (never of the partitioning), so the
+  // per-start outputs — and hence the merged list — are identical whether
+  // the starts run serially or fan out across config.pool workers.
+  bool any_multi = false;
+  for (const ObjectSplit& split : splits) {
+    any_multi = any_multi || split.video_count >= 2;
+  }
+  if (any_multi && start_lo <= start_hi) {
+    const SizeBounds bounds(db);
+    const int range = start_hi - start_lo + 1;
+    const int64_t per_start_nodes =
+        std::max<int64_t>(config.max_dfs_nodes / range, 1 << 16);
+    std::vector<std::vector<GroupCandidate>> per_start(static_cast<size_t>(range));
+    std::vector<char> start_capped(static_cast<size_t>(range), 0);
+    ParallelFor(config.pool, range, [&](int64_t job) {
+      const int s = start_lo + static_cast<int>(job);
+      std::vector<GroupCandidate>& out = per_start[static_cast<size_t>(job)];
+      for (const ObjectSplit& split : splits) {
+        const int v = split.video_count;
+        if (v < 2 || s + v > positions) {
           continue;
         }
-        // DFS over per-position track choices.
-        std::vector<int> chosen(static_cast<size_t>(v), 0);
-        std::function<bool(int, Bytes)> dfs = [&](int depth, Bytes acc) -> bool {
-          ++dfs_nodes;
-          if (depth == v) {
-            if (acc >= lo && acc <= hi) {
-              GroupCandidate c;
-              c.video_start = s;
-              c.tracks = chosen;
-              c.audio_count = a;
-              c.other_count = other_count;
-              c.implied_total = acc + a * audio_size + other_bytes;
-              candidates.push_back(std::move(c));
-              if (capped()) {
-                return false;
-              }
-            }
-            return true;
-          }
-          const int index = s + depth;
-          const Bytes rem_min = bounds.MinSum(index + 1, s + v);
-          const Bytes rem_max = bounds.MaxSum(index + 1, s + v);
-          auto constraint = display.find(index);
-          for (int t = 0; t < tracks; ++t) {
-            if (constraint != display.end() && constraint->second != t) {
-              continue;
-            }
-            const Bytes total = acc + db.VideoSize(t, index);
-            if (total + rem_min > hi || total + rem_max < lo) {
-              continue;
-            }
-            chosen[static_cast<size_t>(depth)] = t;
-            if (!dfs(depth + 1, total)) {
-              return false;
-            }
-          }
-          return true;
-        };
-        if (!dfs(0, 0)) {
+        if (bounds.MinSum(s, s + v) > split.video_hi ||
+            bounds.MaxSum(s, s + v) < split.video_lo) {
+          continue;
+        }
+        RunDfs dfs{db,     bounds,          display,
+                   split,  s,               tracks,
+                   audio_size, per_start_nodes, config.max_candidates_per_group,
+                   &out,   std::vector<int>(static_cast<size_t>(v), 0),
+                   false};
+        dfs.Walk(0, 0);
+        if (dfs.capped) {
+          start_capped[static_cast<size_t>(job)] = 1;
           break;
         }
       }
-    }
+    });
+    for (int job = 0; job < range; ++job) {
+      auto& out = per_start[static_cast<size_t>(job)];
+      candidates.insert(candidates.end(), std::make_move_iterator(out.begin()),
+                        std::make_move_iterator(out.end()));
+      capped_flag = capped_flag || start_capped[static_cast<size_t>(job)] != 0;
     }
   }
-  if (capped_flag && truncated != nullptr) {
-    *truncated = true;
-  }
+
   // Enumeration order decides which sequences the bounded chain search finds
   // first. Rank by how close the candidate's predicted estimate (under the
   // calibrated overhead model) is to the observation: the ground-truth
   // explanation sits almost exactly there, while spurious combinations
-  // scatter across the admissible window.
+  // scatter across the admissible window. stable_sort over the fixed
+  // concatenation order keeps ties deterministic.
   std::stable_sort(candidates.begin(), candidates.end(),
                    [&group, &config](const GroupCandidate& x, const GroupCandidate& y) {
                      return CandidateCost(x, group.estimated_total, group.num_requests(),
@@ -184,6 +311,16 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                             CandidateCost(y, group.estimated_total, group.num_requests(),
                                           config);
                    });
+  // The global cap now falls on the *worst-ranked* candidates (the serial
+  // seed capped in enumeration order); parallel and serial agree because both
+  // rank first and truncate after.
+  if (static_cast<int>(candidates.size()) > config.max_candidates_per_group) {
+    candidates.resize(static_cast<size_t>(config.max_candidates_per_group));
+    capped_flag = true;
+  }
+  if (capped_flag && truncated != nullptr) {
+    *truncated = true;
+  }
   // Degrade to a wildcard only when the group cannot be explained at all
   // (oversized, corrupted estimate, or enumeration cut short before finding
   // anything). A wildcard alongside real candidates would flood the chain
@@ -220,7 +357,8 @@ class GroupSequenceSearcher {
         db_(db),
         config_(config),
         display_(display),
-        positions_(db.num_positions()) {}
+        positions_(db.num_positions()),
+        query_cache_(&db) {}
 
   InferenceResult Run() {
     InferenceResult result;
@@ -426,7 +564,7 @@ class GroupSequenceSearcher {
     }
     bool truncated = false;
     std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
-        MergedGroup(g), db_, config_, display_, lo, hi, &truncated);
+        MergedGroup(g), db_, config_, display_, lo, hi, &truncated, &query_cache_);
     // Only the one-object-deficit explanations make sense for a merge (two
     // requests, one real object); drop the rest to keep the beam clean.
     std::erase_if(cands, [](const GroupCandidate& c) {
@@ -447,7 +585,8 @@ class GroupSequenceSearcher {
     }
     bool truncated = false;
     std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
-        groups_[static_cast<size_t>(g)], db_, config_, display_, lo, hi, &truncated);
+        groups_[static_cast<size_t>(g)], db_, config_, display_, lo, hi, &truncated,
+        &query_cache_);
     truncated_ = truncated_ || truncated;
     return cand_cache_.emplace(key, std::move(cands)).first->second;
   }
@@ -559,6 +698,8 @@ class GroupSequenceSearcher {
   int positions_ = 0;
   std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> cand_cache_;
   std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> merged_cand_cache_;
+  // Thread-confined: one searcher runs one trace, on one thread.
+  CandidateQueryCache query_cache_;
   std::map<std::tuple<int, int, int>, bool> can_memo_;
   std::vector<std::vector<SlotAssignment>> sequences_;
   bool truncated_ = false;

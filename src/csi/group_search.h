@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/csi/chunk_database.h"
 #include "src/csi/path_search.h"
 #include "src/csi/splitter.h"
@@ -44,6 +45,8 @@ struct GroupCandidate {
   int video_end() const {
     return video_start < 0 ? -1 : video_start + static_cast<int>(tracks.size()) - 1;
   }
+
+  friend bool operator==(const GroupCandidate&, const GroupCandidate&) = default;
 };
 
 struct GroupSearchConfig {
@@ -74,17 +77,28 @@ struct GroupSearchConfig {
   // that repairs exchanges split by retransmitted QUIC requests.
   bool enable_wildcards = true;
   bool enable_merge_repair = true;
+  // Optional worker pool for candidate enumeration: the admissible start
+  // range is partitioned into disjoint per-start-index jobs whose merged,
+  // re-ranked output is bit-identical to the serial path (each start index
+  // gets budgets that do not depend on the partitioning). Null: serial.
+  ThreadPool* pool = nullptr;
 };
 
 // All explanations of one group whose video run starts within
 // [start_lo, start_hi] (video-free explanations are start-agnostic).
-// Sets `*truncated` if a cap was hit.
+// Sets `*truncated` if a cap was hit. Candidates are ranked by
+// CandidateCost; ties keep a fixed enumeration order (video-free, then
+// single-chunk runs from the flat size index, then longer runs by start
+// index), so the output is deterministic and independent of config.pool.
+// `cache` optionally memoizes flat-index queries across calls; it must not
+// be shared across threads.
 std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                                                      const ChunkDatabase& db,
                                                      const GroupSearchConfig& config,
                                                      const DisplayConstraints& display,
                                                      int start_lo, int start_hi,
-                                                     bool* truncated);
+                                                     bool* truncated,
+                                                     CandidateQueryCache* cache = nullptr);
 
 // Ranking cost: relative deviation of the observed estimate from the
 // candidate's predicted estimate under the calibrated overhead model.

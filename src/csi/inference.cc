@@ -43,7 +43,7 @@ InferenceEngine::InferenceEngine(const media::Manifest* manifest, InferenceConfi
 }
 
 bool InferenceEngine::MatchesSomething(Bytes estimate, double k) const {
-  if (!db_.VideoCandidates(estimate, k).empty() || db_.AudioPossible(estimate, k)) {
+  if (db_.HasVideoCandidate(estimate, k) || db_.AudioPossible(estimate, k)) {
     return true;
   }
   for (Bytes other : config_.other_object_sizes) {
@@ -116,6 +116,7 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   group.other_object_sizes = config_.other_object_sizes;
   group.enable_wildcards = config_.enable_wildcards;
   group.enable_merge_repair = config_.enable_merge_repair;
+  group.pool = config_.search_pool;
   if (!config_.enable_phantom_deficit) {
     group.max_phantom_requests = 0;
   }

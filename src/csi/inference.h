@@ -43,6 +43,10 @@ struct InferenceConfig {
   // Sizes of known non-media objects (manifest etc.) for SQ group matching.
   // Auto-filled with the manifest size when empty.
   std::vector<Bytes> other_object_sizes;
+  // Optional worker pool for the SQ candidate enumeration (see
+  // GroupSearchConfig::pool). Results are identical with or without it.
+  // Caller keeps the pool alive for the engine's lifetime.
+  ThreadPool* search_pool = nullptr;
 };
 
 class InferenceEngine {

@@ -28,6 +28,8 @@ struct EstimatedExchange {
   // The "request" is the ClientHello/Initial (observable via the SNI): a
   // handshake exchange, not an HTTP request.
   bool carries_sni = false;
+
+  friend bool operator==(const EstimatedExchange&, const EstimatedExchange&) = default;
 };
 
 // What a request was inferred to be.
@@ -44,12 +46,16 @@ struct InferredSlot {
   TimeUs request_time = 0;
   TimeUs done_time = 0;
   Bytes estimated_size = 0;
+
+  friend bool operator==(const InferredSlot&, const InferredSlot&) = default;
 };
 
 // One candidate chunk sequence matching the whole session (the paper's
 // algorithm may output several; see Table 4 best/worst columns).
 struct InferredSequence {
   std::vector<InferredSlot> slots;
+
+  friend bool operator==(const InferredSequence&, const InferredSequence&) = default;
 };
 
 // Full inference result.
@@ -61,6 +67,8 @@ struct InferenceResult {
   std::vector<EstimatedExchange> exchanges;
   // SQ only: sizes (request counts) of the traffic groups after splitting.
   std::vector<int> group_sizes;
+
+  friend bool operator==(const InferenceResult&, const InferenceResult&) = default;
 };
 
 }  // namespace csi::infer

@@ -1,0 +1,163 @@
+// Determinism contract of the parallel batch-inference engine: results are
+// positioned by input index and bit-identical for any worker count, and the
+// parallel SQ candidate enumeration matches the serial path exactly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/csi/batch_analyzer.h"
+#include "src/csi/splitter.h"
+#include "src/testbed/experiment.h"
+
+namespace csi {
+namespace {
+
+using infer::DesignType;
+using testbed::MakeAssetForDesign;
+using testbed::RunStreamingSession;
+
+std::vector<testbed::SessionResult> MakeSessions(const media::Manifest& manifest,
+                                                 DesignType design, int count,
+                                                 TimeUs duration) {
+  std::vector<testbed::SessionResult> sessions;
+  for (int i = 0; i < count; ++i) {
+    testbed::SessionConfig config;
+    config.design = design;
+    config.manifest = &manifest;
+    Rng rng(1000 + static_cast<uint64_t>(i));
+    config.downlink = (i % 2 == 0)
+                          ? nettrace::StableTrace("s", (4 + i % 4) * kMbps)
+                          : nettrace::CellularTrace("c", 5 * kMbps, 0.4, duration,
+                                                    2 * kUsPerSec, rng);
+    config.duration = duration;
+    config.seed = 100 + static_cast<uint64_t>(i);
+    sessions.push_back(RunStreamingSession(config));
+  }
+  return sessions;
+}
+
+std::vector<capture::CaptureTrace> TracesOf(const std::vector<testbed::SessionResult>& s) {
+  std::vector<capture::CaptureTrace> traces;
+  for (const auto& session : s) {
+    traces.push_back(session.capture);
+  }
+  return traces;
+}
+
+TEST(BatchAnalyzer, EightTracesIdenticalAcrossOneAndEightThreads) {
+  const TimeUs duration = 90 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kSH, 1, duration);
+  const auto traces = TracesOf(MakeSessions(manifest, DesignType::kSH, 8, duration));
+
+  infer::InferenceConfig config;
+  config.design = DesignType::kSH;
+  infer::BatchConfig serial;
+  serial.threads = 1;
+  infer::BatchConfig wide;
+  wide.threads = 8;
+  infer::BatchAnalyzer one(&manifest, config, serial);
+  infer::BatchAnalyzer eight(&manifest, config, wide);
+
+  const auto results_1 = one.AnalyzeAll(traces);
+  const auto results_8 = eight.AnalyzeAll(traces);
+  ASSERT_EQ(results_1.size(), 8u);
+  ASSERT_EQ(results_8.size(), 8u);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(results_1[i], results_8[i]) << "trace " << i;
+  }
+}
+
+TEST(BatchAnalyzer, MatchesSingleTraceEngineByIndex) {
+  const TimeUs duration = 90 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kCH, 2, duration);
+  const auto traces = TracesOf(MakeSessions(manifest, DesignType::kCH, 4, duration));
+
+  infer::InferenceConfig config;
+  config.design = DesignType::kCH;
+  const infer::InferenceEngine reference(&manifest, config);
+  infer::BatchConfig batch;
+  batch.threads = 4;
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+  const auto results = analyzer.AnalyzeAll(traces);
+  ASSERT_EQ(results.size(), traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(results[i], reference.Analyze(traces[i])) << "trace " << i;
+  }
+}
+
+TEST(BatchAnalyzer, EmptyBatchYieldsEmptyResults) {
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kSH, 0, 60 * kUsPerSec);
+  infer::InferenceConfig config;
+  config.design = DesignType::kSH;
+  infer::BatchAnalyzer analyzer(&manifest, config);
+  EXPECT_TRUE(analyzer.AnalyzeAll(std::vector<capture::CaptureTrace>{}).empty());
+}
+
+// The SQ candidate enumeration partitions its start range across workers;
+// the merged candidate lists must be bit-identical to the serial path.
+TEST(GroupSearchParallel, CandidateListsIdenticalSerialVsParallelOnSqSession) {
+  const TimeUs duration = 2 * 60 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kSQ, 3, duration);
+  testbed::SessionConfig session_config;
+  session_config.design = DesignType::kSQ;
+  session_config.manifest = &manifest;
+  session_config.downlink = nettrace::StableTrace("s", 6 * kMbps);
+  session_config.duration = duration;
+  session_config.seed = 7;
+  const auto session = RunStreamingSession(session_config);
+
+  // Media-flow packets only (same filter the engine applies).
+  const auto groups = infer::SplitIntoGroups(session.capture);
+  ASSERT_FALSE(groups.empty());
+
+  const infer::ChunkDatabase db(&manifest);
+  ThreadPool pool(8);
+  infer::GroupSearchConfig serial_config;
+  infer::GroupSearchConfig parallel_config;
+  parallel_config.pool = &pool;
+
+  const int positions = db.num_positions();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    bool serial_truncated = false;
+    bool parallel_truncated = false;
+    const auto serial = infer::EnumerateGroupCandidates(groups[g], db, serial_config, {}, 0,
+                                                        positions - 1, &serial_truncated);
+    const auto parallel = infer::EnumerateGroupCandidates(
+        groups[g], db, parallel_config, {}, 0, positions - 1, &parallel_truncated);
+    EXPECT_EQ(serial, parallel) << "group " << g;
+    EXPECT_EQ(serial_truncated, parallel_truncated) << "group " << g;
+  }
+}
+
+TEST(GroupSearchParallel, FullSqInferenceIdenticalSerialVsParallel) {
+  const TimeUs duration = 2 * 60 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kSQ, 4, duration);
+  testbed::SessionConfig session_config;
+  session_config.design = DesignType::kSQ;
+  session_config.manifest = &manifest;
+  Rng rng(17);
+  session_config.downlink =
+      nettrace::CellularTrace("c", 5 * kMbps, 0.4, duration, 2 * kUsPerSec, rng);
+  session_config.duration = duration;
+  session_config.seed = 23;
+  const auto session = RunStreamingSession(session_config);
+
+  infer::InferenceConfig serial_config;
+  serial_config.design = DesignType::kSQ;
+  const infer::InferenceEngine serial_engine(&manifest, serial_config);
+
+  ThreadPool pool(8);
+  infer::InferenceConfig parallel_config;
+  parallel_config.design = DesignType::kSQ;
+  parallel_config.search_pool = &pool;
+  const infer::InferenceEngine parallel_engine(&manifest, parallel_config);
+
+  const auto serial = serial_engine.Analyze(session.capture);
+  const auto parallel = parallel_engine.Analyze(session.capture);
+  EXPECT_FALSE(serial.sequences.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace csi

@@ -242,6 +242,52 @@ TEST(SearchGroupSequences, WildcardGroupWidensButChainRecovers) {
   EXPECT_TRUE(found_recovery);
 }
 
+TEST(EnumerateGroupCandidates, ParallelPartitioningIsBitIdenticalToSerial) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  ThreadPool pool(8);
+  GroupSearchConfig serial_config = Config();
+  GroupSearchConfig parallel_config = Config();
+  parallel_config.pool = &pool;
+  // Sweep group shapes: single video, multi-chunk runs, audio-only, phantom
+  // deficits — all over the full (unconditioned) start range.
+  const std::vector<TrafficGroup> groups = {
+      MakeGroup(1, Est(db.VideoSize(1, 3))),
+      MakeGroup(2, Est(db.VideoSize(0, 5) + 60000)),
+      MakeGroup(6, Est(db.VideoSize(0, 2) + db.VideoSize(2, 3) + db.VideoSize(1, 4) + 3 * 60000)),
+      MakeGroup(2, Est(2 * 60000)),
+      MakeGroup(3, Est(db.VideoSize(1, 0) + 60000)),
+      MakeGroup(1, 33),  // unexplainable -> wildcard
+  };
+  for (size_t g = 0; g < groups.size(); ++g) {
+    bool serial_truncated = false;
+    bool parallel_truncated = false;
+    const auto serial =
+        EnumerateGroupCandidates(groups[g], db, serial_config, {}, 0, 7, &serial_truncated);
+    const auto parallel = EnumerateGroupCandidates(groups[g], db, parallel_config, {}, 0, 7,
+                                                   &parallel_truncated);
+    EXPECT_EQ(serial, parallel) << "group " << g;
+    EXPECT_EQ(serial_truncated, parallel_truncated) << "group " << g;
+  }
+}
+
+TEST(EnumerateGroupCandidates, CandidateCapKeepsBestRankedDeterministically) {
+  const media::Manifest m = GroupManifest();
+  const ChunkDatabase db(&m);
+  GroupSearchConfig config = Config();
+  config.max_candidates_per_group = 3;
+  const Bytes truth = db.VideoSize(1, 3) + 60000;
+  bool truncated = false;
+  const auto capped =
+      EnumerateGroupCandidates(MakeGroup(2, Est(truth)), db, config, {}, 0, 7, &truncated);
+  ASSERT_LE(capped.size(), 3u);
+  // The cap drops the worst-ranked candidates, so the ground truth survives.
+  ASSERT_FALSE(capped.empty());
+  EXPECT_EQ(capped[0].video_start, 3);
+  ASSERT_EQ(capped[0].tracks.size(), 1u);
+  EXPECT_EQ(capped[0].tracks[0], 1);
+}
+
 TEST(CandidateCost, GroundTruthRanksAheadOfImpostors) {
   const media::Manifest m = GroupManifest();
   const ChunkDatabase db(&m);

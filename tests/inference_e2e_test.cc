@@ -64,7 +64,9 @@ TEST_P(DesignE2eTest, VariableLinkBestOutputAbove95) {
 INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignE2eTest,
                          ::testing::Values(DesignType::kCH, DesignType::kSH, DesignType::kCQ,
                                            DesignType::kSQ),
-                         [](const auto& info) { return infer::DesignTypeName(info.param); });
+                         [](const auto& param_info) {
+                           return infer::DesignTypeName(param_info.param);
+                         });
 
 TEST(InferenceE2e, DisplayedChunkInfoNeverHurts) {
   Rng rng(41);

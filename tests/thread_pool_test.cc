@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace csi {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count]() { ++count; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  const std::thread::id self = std::this_thread::get_id();
+  auto f = pool.Submit([self]() { return std::this_thread::get_id() == self; });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPool, ZeroWorkersParallelForCoversAllIndices) {
+  ThreadPool pool(0);
+  std::vector<int> hit(64, 0);
+  pool.ParallelFor(64, [&hit](int64_t i) { hit[static_cast<size_t>(i)] = 1; });
+  for (int h : hit) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForMoreWorkersThanWork) {
+  ThreadPool pool(16);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&count](int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForZeroAndNegativeIterations) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](int64_t) { FAIL() << "must not be called"; });
+  pool.ParallelFor(-5, [](int64_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](int64_t i) {
+                                  if (i == 17) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A task running on a pool worker issues ParallelFor on the same pool: the
+  // calling thread drives its own loop, so this completes even when every
+  // worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&pool, &total](int64_t) {
+    pool.ParallelFor(8, [&total](int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, FreeFunctionNullPoolRunsSerially) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&order](int64_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&count]() { ++count; }));
+    }
+    for (auto& f : futures) {
+      f.get();
+    }
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace csi

@@ -1,0 +1,169 @@
+// csi_batch — parallel CSI analysis of many captures against one manifest.
+//
+// Usage:
+//   csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)
+//             [--threads N] [--repeat R] [--host SUFFIX] [--quiet]
+//
+// The deployment workload (paper §6.2.3 scaled up): a directory of per-device
+// captures of the same service, analyzed over one shared chunk database.
+// Prints per-trace summaries plus batch throughput in sessions/sec.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/capture/pcap_io.h"
+#include "src/csi/batch_analyzer.h"
+
+using namespace csi;
+
+namespace {
+
+[[noreturn]] void Usage(const char* error) {
+  if (error != nullptr) {
+    std::fprintf(stderr, "error: %s\n\n", error);
+  }
+  std::fprintf(stderr,
+               "usage: csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)\n"
+               "                 [--threads N] [--repeat R] [--host SUFFIX] [--quiet]\n");
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+infer::DesignType ParseDesign(const std::string& name) {
+  if (name == "CH") {
+    return infer::DesignType::kCH;
+  }
+  if (name == "SH") {
+    return infer::DesignType::kSH;
+  }
+  if (name == "CQ") {
+    return infer::DesignType::kCQ;
+  }
+  if (name == "SQ") {
+    return infer::DesignType::kSQ;
+  }
+  Usage("unknown design type (expected CH, SH, CQ or SQ)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string design_name;
+  std::string dir;
+  std::string host_suffix;
+  std::vector<std::string> pcap_paths;
+  int threads = 0;
+  int repeat = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage(("missing value for " + arg).c_str());
+      }
+      return argv[++i];
+    };
+    if (arg == "--manifest") {
+      manifest_path = next();
+    } else if (arg == "--design") {
+      design_name = next();
+    } else if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--threads") {
+      threads = std::stoi(next());
+    } else if (arg == "--repeat") {
+      repeat = std::stoi(next());
+    } else if (arg == "--host") {
+      host_suffix = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage(("unknown argument: " + arg).c_str());
+    } else {
+      pcap_paths.push_back(arg);
+    }
+  }
+  if (manifest_path.empty() || design_name.empty()) {
+    Usage("--manifest and --design are required");
+  }
+  if (!dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(dir, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".pcap") {
+        pcap_paths.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "error: cannot scan %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    std::sort(pcap_paths.begin(), pcap_paths.end());
+  }
+  if (pcap_paths.empty()) {
+    Usage("no pcap inputs (pass files or --dir)");
+  }
+  if (repeat < 1) {
+    Usage("--repeat must be >= 1");
+  }
+
+  const media::Manifest manifest = media::Manifest::Parse(ReadFileOrDie(manifest_path));
+  std::vector<capture::CaptureTrace> traces;
+  traces.reserve(pcap_paths.size());
+  size_t total_packets = 0;
+  for (const std::string& path : pcap_paths) {
+    traces.push_back(capture::ReadPcap(path));
+    total_packets += traces.back().size();
+  }
+  std::printf("loaded %zu trace(s), %zu packets total; manifest %s: %d tracks x %d chunks\n",
+              traces.size(), total_packets, manifest.asset_id.c_str(),
+              manifest.num_video_tracks(), manifest.num_positions());
+
+  infer::InferenceConfig config;
+  config.design = ParseDesign(design_name);
+  if (!host_suffix.empty()) {
+    config.host_suffix = host_suffix;
+  }
+  infer::BatchConfig batch;
+  batch.threads = threads;
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+
+  std::vector<infer::InferenceResult> results;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    results = analyzer.AnalyzeAll(traces);
+  }
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+
+  if (!quiet) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("  %-40s %4zu sequence(s)%s\n", pcap_paths[i].c_str(),
+                  results[i].sequences.size(), results[i].truncated ? " (truncated)" : "");
+    }
+  }
+  const double sessions = static_cast<double>(traces.size()) * repeat;
+  std::printf("analyzed %.0f session(s) in %.3f s on %d worker(s): %.2f sessions/sec\n",
+              sessions, elapsed.count(), analyzer.threads(),
+              sessions / std::max(elapsed.count(), 1e-9));
+  return 0;
+}
