@@ -39,6 +39,23 @@ for bin in "$BUILD"/bench/bench_*; do
   benches+=("$TMPDIR_BENCH/$name.json")
 done
 
+# Pipeline-telemetry snapshot: run a small generated batch through csi_batch
+# and save the metrics JSON next to the bench output, so every bench tag also
+# records stage latencies / cache hit rates / thread-pool stats.
+cmake --build "$BUILD" -j "$(nproc)" --target csi_testgen csi_batch >/dev/null
+METRICS_OUT="$REPO/METRICS_${TAG}.json"
+# Seeds congruent mod 5 share the same generated asset, so every session can
+# be analyzed against the seed-1 manifest.
+for seed in 1 6 11 16; do
+  mkdir -p "$TMPDIR_BENCH/batch/s$seed"
+  "$BUILD/tools/csi_testgen" --design SH --duration 60 --seed "$seed" \
+      --out "$TMPDIR_BENCH/batch/s$seed" >/dev/null
+done
+"$BUILD/tools/csi_batch" --manifest "$TMPDIR_BENCH/batch/s1/video.manifest" \
+    --design SH --dir "$TMPDIR_BENCH/batch" --quiet \
+    --metrics-out "$METRICS_OUT" >&2
+echo "$METRICS_OUT" >&2
+
 # Merge: keep the context of the first suite, concatenate all benchmarks.
 python3 - "$OUT" "${benches[@]}" <<'EOF'
 import json, sys

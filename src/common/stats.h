@@ -10,6 +10,10 @@
 namespace csi {
 
 // Accumulates count / mean / variance / min / max in one pass (Welford).
+//
+// min()/max() track the first sample onward — an all-positive stream never
+// reports min 0, an all-negative stream never reports max 0. With no samples
+// every accessor returns 0.0 by convention (locked in by common_test).
 class RunningStats {
  public:
   void Add(double x);

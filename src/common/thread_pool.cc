@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "src/common/telemetry.h"
+
 namespace csi {
+
+namespace {
+
+// Shared by the worker loop and the help-while-waiting path so queue-sourced
+// tasks are accounted identically wherever they end up running.
+void RunTimedTask(const std::function<void()>& task) {
+  {
+    CSI_SCOPED_HIST_TIMER("csi_threadpool_task_duration_seconds");
+    task();
+  }
+  CSI_COUNTER_INC("csi_threadpool_tasks_total");
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(static_cast<size_t>(std::max(num_workers, 0)));
@@ -24,12 +40,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Post(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    RunTimedTask(task);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    CSI_GAUGE_SET("csi_threadpool_queue_depth", queue_.size());
   }
   cv_.notify_one();
 }
@@ -45,8 +62,9 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      CSI_GAUGE_SET("csi_threadpool_queue_depth", queue_.size());
     }
-    task();
+    RunTimedTask(task);
   }
 }
 
@@ -59,8 +77,9 @@ bool ThreadPool::RunOneTask() {
     }
     task = std::move(queue_.front());
     queue_.pop_front();
+    CSI_GAUGE_SET("csi_threadpool_queue_depth", queue_.size());
   }
-  task();
+  RunTimedTask(task);
   return true;
 }
 

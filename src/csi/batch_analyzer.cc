@@ -1,6 +1,11 @@
 #include "src/csi/batch_analyzer.h"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <thread>
+
+#include "src/common/telemetry.h"
 
 namespace csi::infer {
 
@@ -29,22 +34,47 @@ BatchAnalyzer::BatchAnalyzer(const media::Manifest* manifest, InferenceConfig co
               }()) {}
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
-    const std::vector<const capture::CaptureTrace*>& traces) {
-  std::vector<InferenceResult> results(traces.size());
-  pool_.ParallelFor(static_cast<int64_t>(traces.size()), [&](int64_t i) {
+    const std::vector<const capture::CaptureTrace*>& traces,
+    std::vector<double>* trace_seconds) {
+  const size_t total = traces.size();
+  std::vector<InferenceResult> results(total);
+  if (trace_seconds != nullptr) {
+    trace_seconds->assign(total, 0.0);
+  }
+  std::atomic<size_t> completed{0};
+  std::mutex progress_mu;
+  pool_.ParallelFor(static_cast<int64_t>(total), [&](int64_t i) {
+    // One clock pair per trace is noise next to Analyze itself; reading it
+    // unconditionally keeps the timing slots available with telemetry off.
+    const auto start = std::chrono::steady_clock::now();
     results[static_cast<size_t>(i)] = engine_.Analyze(*traces[static_cast<size_t>(i)]);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (trace_seconds != nullptr) {
+      (*trace_seconds)[static_cast<size_t>(i)] = seconds;
+    }
+    CSI_HISTOGRAM_OBSERVE("csi_batch_trace_duration_seconds",
+                          telemetry::DurationBuckets(), seconds);
+    CSI_COUNTER_INC("csi_batch_traces_total");
+    const size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    CSI_GAUGE_SET("csi_batch_traces_in_flight", total - done);
+    if (batch_.progress && batch_.progress_every > 0 &&
+        (done % batch_.progress_every == 0 || done == total)) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      batch_.progress(done, total);
+    }
   });
   return results;
 }
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
-    const std::vector<capture::CaptureTrace>& traces) {
+    const std::vector<capture::CaptureTrace>& traces, std::vector<double>* trace_seconds) {
   std::vector<const capture::CaptureTrace*> pointers;
   pointers.reserve(traces.size());
   for (const capture::CaptureTrace& trace : traces) {
     pointers.push_back(&trace);
   }
-  return AnalyzeAll(pointers);
+  return AnalyzeAll(pointers, trace_seconds);
 }
 
 }  // namespace csi::infer

@@ -15,6 +15,7 @@
 #ifndef CSI_SRC_CSI_BATCH_ANALYZER_H_
 #define CSI_SRC_CSI_BATCH_ANALYZER_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -30,6 +31,12 @@ struct BatchConfig {
   // per-trace fan-out already saturates the pool, and intra-trace
   // parallelism only helps when analyzing fewer traces than workers.
   bool parallel_group_search = false;
+  // Invoked with (completed, total) after every `progress_every`-th completed
+  // trace and once at batch end. Called from worker threads, serialized by a
+  // mutex — keep it cheap. Completion order is scheduling-dependent; only the
+  // counts are meaningful.
+  std::function<void(size_t completed, size_t total)> progress;
+  size_t progress_every = 16;
 };
 
 class BatchAnalyzer {
@@ -39,9 +46,14 @@ class BatchAnalyzer {
                 BatchConfig batch = {});
 
   // Analyzes traces[i] into result[i]. Blocks until the whole batch is done.
+  // If `trace_seconds` is non-null it is resized to the batch size and
+  // slot i receives trace i's wall-clock analysis time (by-index slots, so
+  // the output is deterministic even though scheduling is not).
   std::vector<InferenceResult> AnalyzeAll(
-      const std::vector<const capture::CaptureTrace*>& traces);
-  std::vector<InferenceResult> AnalyzeAll(const std::vector<capture::CaptureTrace>& traces);
+      const std::vector<const capture::CaptureTrace*>& traces,
+      std::vector<double>* trace_seconds = nullptr);
+  std::vector<InferenceResult> AnalyzeAll(const std::vector<capture::CaptureTrace>& traces,
+                                          std::vector<double>* trace_seconds = nullptr);
 
   const InferenceEngine& engine() const { return engine_; }
   int threads() const { return pool_.num_workers(); }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/common/telemetry.h"
+
 namespace csi::infer {
 
 ChunkDatabase::ChunkDatabase(const media::Manifest* manifest) : manifest_(manifest) {
@@ -74,6 +76,9 @@ std::vector<media::ChunkRef> ChunkDatabase::VideoCandidatesInSizeRange(Bytes lo,
                                                                        Bytes hi) const {
   std::vector<media::ChunkRef> out;
   const auto [first, last] = FlatRange(lo, hi);
+  CSI_COUNTER_INC("csi_candidate_queries_total");
+  CSI_HISTOGRAM_OBSERVE("csi_candidates_per_query", telemetry::CountBuckets(),
+                        last - first);
   out.reserve(last - first);
   for (size_t i = first; i < last; ++i) {
     const uint32_t packed = packed_refs_[i];
@@ -97,6 +102,7 @@ std::vector<media::ChunkRef> ChunkDatabase::VideoCandidates(Bytes estimated, dou
 
 bool ChunkDatabase::HasVideoCandidate(Bytes estimated, double k) const {
   const auto [first, last] = FlatRange(AdmissibleLow(estimated, k), estimated);
+  CSI_COUNTER_INC("csi_candidate_probes_total");
   return first < last;
 }
 
@@ -121,9 +127,11 @@ const std::vector<media::ChunkRef>& CandidateQueryCache::VideoCandidates(Bytes e
   auto it = track_ordered_memo_.find(window);
   if (it != track_ordered_memo_.end()) {
     ++hits_;
+    CSI_COUNTER_INC("csi_candidate_cache_hits_total");
     return it->second;
   }
   ++misses_;
+  CSI_COUNTER_INC("csi_candidate_cache_misses_total");
   return track_ordered_memo_.emplace(window, db_->VideoCandidates(estimated, k))
       .first->second;
 }
@@ -134,9 +142,11 @@ const std::vector<media::ChunkRef>& CandidateQueryCache::VideoCandidatesInSizeRa
   auto it = flat_ordered_memo_.find(window);
   if (it != flat_ordered_memo_.end()) {
     ++hits_;
+    CSI_COUNTER_INC("csi_candidate_cache_hits_total");
     return it->second;
   }
   ++misses_;
+  CSI_COUNTER_INC("csi_candidate_cache_misses_total");
   return flat_ordered_memo_.emplace(window, db_->VideoCandidatesInSizeRange(lo, hi))
       .first->second;
 }

@@ -8,6 +8,8 @@
 #include <queue>
 #include <tuple>
 
+#include "src/common/telemetry.h"
+
 namespace csi::infer {
 namespace {
 
@@ -114,6 +116,9 @@ struct RunDfs {
   std::vector<GroupCandidate>* out = nullptr;
   std::vector<int> chosen;
   bool capped = false;
+  // Telemetry tallies, flushed to global counters once per DFS run so the
+  // inner loop touches no atomics.
+  int64_t pruned = 0;
 
   // Returns false to unwind (budget exhausted).
   bool Walk(int depth, Bytes acc) {
@@ -148,6 +153,7 @@ struct RunDfs {
       }
       const Bytes total = acc + db.VideoSize(t, index);
       if (total + rem_min > split.video_hi || total + rem_max < split.video_lo) {
+        ++pruned;
         continue;
       }
       chosen[static_cast<size_t>(depth)] = t;
@@ -173,8 +179,11 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
   if (n_req == 0) {
     return candidates;
   }
+  CSI_SPAN("candidate_enum");
+  CSI_COUNTER_INC("csi_group_enumerations_total");
   if (n_req > config.max_group_requests) {
     if (config.enable_wildcards) {
+      CSI_COUNTER_INC("csi_group_wildcards_total");
       GroupCandidate wild;
       wild.wildcard = true;
       candidates.push_back(wild);
@@ -269,6 +278,8 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
     ParallelFor(config.pool, range, [&](int64_t job) {
       const int s = start_lo + static_cast<int>(job);
       std::vector<GroupCandidate>& out = per_start[static_cast<size_t>(job)];
+      int64_t nodes_expanded = 0;
+      int64_t nodes_pruned = 0;
       for (const ObjectSplit& split : splits) {
         const int v = split.video_count;
         if (v < 2 || s + v > positions) {
@@ -276,6 +287,7 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
         }
         if (bounds.MinSum(s, s + v) > split.video_hi ||
             bounds.MaxSum(s, s + v) < split.video_lo) {
+          ++nodes_pruned;
           continue;
         }
         RunDfs dfs{db,     bounds,          display,
@@ -284,11 +296,15 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                    &out,   std::vector<int>(static_cast<size_t>(v), 0),
                    false};
         dfs.Walk(0, 0);
+        nodes_expanded += per_start_nodes - std::max<int64_t>(dfs.node_budget, 0);
+        nodes_pruned += dfs.pruned;
         if (dfs.capped) {
           start_capped[static_cast<size_t>(job)] = 1;
           break;
         }
       }
+      CSI_COUNTER_ADD("csi_dfs_nodes_expanded_total", nodes_expanded);
+      CSI_COUNTER_ADD("csi_dfs_nodes_pruned_total", nodes_pruned);
     });
     for (int job = 0; job < range; ++job) {
       auto& out = per_start[static_cast<size_t>(job)];
@@ -318,6 +334,11 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
     candidates.resize(static_cast<size_t>(config.max_candidates_per_group));
     capped_flag = true;
   }
+  if (capped_flag) {
+    CSI_COUNTER_INC("csi_group_enum_truncated_total");
+  }
+  CSI_HISTOGRAM_OBSERVE("csi_group_candidates_per_enum", telemetry::CountBuckets(),
+                        candidates.size());
   if (capped_flag && truncated != nullptr) {
     *truncated = true;
   }
@@ -326,6 +347,7 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
   // anything). A wildcard alongside real candidates would flood the chain
   // search with low-information sequences.
   if (candidates.empty() && config.enable_wildcards) {
+    CSI_COUNTER_INC("csi_group_wildcards_total");
     GroupCandidate wild;
     wild.wildcard = true;
     candidates.push_back(wild);
@@ -361,6 +383,7 @@ class GroupSequenceSearcher {
         query_cache_(&db) {}
 
   InferenceResult Run() {
+    CSI_SPAN("sequence_chain");
     InferenceResult result;
     for (const auto& g : groups_) {
       result.group_sizes.push_back(g.num_requests());
@@ -527,6 +550,10 @@ class GroupSequenceSearcher {
       result.sequences.push_back(BuildSequence(assignment));
     }
     result.truncated = truncated_;
+    CSI_COUNTER_ADD("csi_chain_nodes_total", arena.size());
+    if (truncated_) {
+      CSI_COUNTER_INC("csi_chain_truncated_total");
+    }
     return result;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/telemetry.h"
 #include "src/csi/flow_classifier.h"
 #include "src/csi/size_estimator.h"
 
@@ -94,8 +95,15 @@ void InferenceEngine::MergePhantomSplits(std::vector<EstimatedExchange>* exchang
 
 InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
                                          const DisplayConstraints& display) const {
-  std::vector<Flow> flows = ClassifyMediaFlows(trace, config_.host_suffix);
+  CSI_SPAN("analyze");
+  CSI_COUNTER_INC("csi_analyze_calls_total");
+  std::vector<Flow> flows;
+  {
+    CSI_SPAN("flow_classify");
+    flows = ClassifyMediaFlows(trace, config_.host_suffix);
+  }
   if (flows.empty()) {
+    CSI_COUNTER_INC("csi_analyze_no_media_flow_total");
     return {};
   }
   // The player streams over one connection; if several media flows exist
@@ -130,8 +138,10 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   // own single-request group.
   std::vector<TrafficGroup> groups;
   if (config_.design == DesignType::kSQ) {
+    CSI_SPAN("traffic_split");
     groups = SplitIntoGroups(main_flow->packets, config_.splitter);
   } else {
+    CSI_SPAN("size_estimate");
     std::vector<EstimatedExchange> exchanges;
     for (const EstimatedExchange& ex : EstimateExchanges(main_flow->packets, quic)) {
       if (ex.carries_sni) {
@@ -155,6 +165,7 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
       groups.push_back(std::move(g));
     }
   }
+  CSI_SPAN("group_search");
   return SearchGroupSequences(groups, db_, group, display);
 }
 

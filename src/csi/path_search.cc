@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/common/telemetry.h"
+
 namespace csi::infer {
 
 std::vector<SlotOptions> BuildSlotOptions(const std::vector<EstimatedExchange>& exchanges,
                                           const ChunkDatabase& db, double k,
                                           const DisplayConstraints& display) {
+  CSI_SPAN("slot_options");
   std::vector<SlotOptions> options;
   options.reserve(exchanges.size());
   for (const auto& ex : exchanges) {
@@ -67,6 +70,7 @@ class Searcher {
   }
 
   InferenceResult Run() {
+    CSI_SPAN("path_search");
     InferenceResult result;
     result.exchanges = exchanges_;
     const int n = static_cast<int>(options_.size());
@@ -96,6 +100,10 @@ class Searcher {
       result.sequences.push_back(BuildSequence(assignment));
     }
     result.truncated = truncated_;
+    CSI_COUNTER_ADD("csi_path_nodes_expanded_total", nodes_expanded_);
+    if (truncated_) {
+      CSI_COUNTER_INC("csi_path_truncated_total");
+    }
     return result;
   }
 
@@ -145,6 +153,7 @@ class Searcher {
     if (truncated_) {
       return;
     }
+    ++nodes_expanded_;
     const NodeId node = path.back();
     const int n = static_cast<int>(options_.size());
     // Terminal: the remaining layers are all skippable.
@@ -229,6 +238,7 @@ class Searcher {
   std::vector<std::vector<int8_t>> reach_memo_;
   std::vector<std::vector<NodeId>> sequences_;
   bool truncated_ = false;
+  int64_t nodes_expanded_ = 0;
 };
 
 }  // namespace

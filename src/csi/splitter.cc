@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/telemetry.h"
+
 namespace csi::infer {
 
 std::vector<TrafficGroup> SplitIntoGroups(const std::vector<capture::PacketRecord>& flow,
@@ -49,6 +51,9 @@ std::vector<TrafficGroup> SplitIntoGroups(const std::vector<capture::PacketRecor
   // simultaneous pair with no downlink data in between (SP2).
   std::vector<size_t> boundaries;
   boundaries.push_back(0);
+  int64_t sp1_splits = 0;
+  int64_t sp2_splits = 0;
+  int64_t ambiguous_splits = 0;
   for (size_t i = 1; i < requests.size(); ++i) {
     const TimeUs t = requests[i].time;
     const TimeUs last = last_activity_before(t, i);
@@ -58,11 +63,23 @@ std::vector<TrafficGroup> SplitIntoGroups(const std::vector<capture::PacketRecor
                      requests[i + 1].time - t <= config.simultaneity_window &&
                      !downlink_in(t, requests[i + 1].time);
     if (sp1 || sp2) {
+      sp1_splits += sp1 ? 1 : 0;
+      sp2_splits += sp2 ? 1 : 0;
+      // Both signals firing on the same request: the paper treats SP1 and
+      // SP2 as distinct evidence; agreement is expected, but tracking it
+      // shows how often the split decision was over-determined vs. marginal.
+      ambiguous_splits += (sp1 && sp2) ? 1 : 0;
       if (boundaries.back() != i) {
         boundaries.push_back(i);
       }
     }
   }
+  CSI_COUNTER_INC("csi_splitter_flows_total");
+  CSI_COUNTER_ADD("csi_splitter_requests_total", requests.size());
+  CSI_COUNTER_ADD("csi_splitter_sp1_splits_total", sp1_splits);
+  CSI_COUNTER_ADD("csi_splitter_sp2_splits_total", sp2_splits);
+  CSI_COUNTER_ADD("csi_splitter_ambiguous_splits_total", ambiguous_splits);
+  CSI_COUNTER_ADD("csi_splitter_groups_total", boundaries.size());
 
   for (size_t b = 0; b < boundaries.size(); ++b) {
     const size_t first = boundaries[b];

@@ -116,6 +116,43 @@ TEST(RunningStats, MinMaxCount) {
   EXPECT_DOUBLE_EQ(s.mean(), 3.0);
 }
 
+// min/max must track the first sample, not a 0.0 initializer: an
+// all-positive stream (e.g. per-trace latencies feeding the telemetry
+// summaries) must never report min() == 0.
+TEST(RunningStats, AllPositiveMinIsFirstSampleNotZero) {
+  RunningStats s;
+  for (double v : {5.0, 3.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, AllNegativeMaxIsFirstSampleNotZero) {
+  RunningStats s;
+  for (double v : {-5.0, -3.0, -9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.min(), -9.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
+TEST(RunningStats, SingleSampleIsBothMinAndMax) {
+  RunningStats s;
+  s.Add(42.5);
+  EXPECT_DOUBLE_EQ(s.min(), 42.5);
+  EXPECT_DOUBLE_EQ(s.max(), 42.5);
+}
+
+TEST(RunningStats, EmptyStatsReportZeroes) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
 TEST(RunningStats, VarianceMatchesDefinition) {
   RunningStats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {

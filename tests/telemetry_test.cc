@@ -1,0 +1,313 @@
+// Telemetry subsystem contract:
+//   * the registry is safe to hammer from ThreadPool workers (run under TSan
+//     in CI) and loses no increments;
+//   * histogram bucket boundaries are inclusive upper bounds with a +Inf
+//     tail;
+//   * JSON / Prometheus exports are byte-stable (golden outputs);
+//   * instrumentation never changes inference output: results are
+//     byte-identical with telemetry enabled, disabled, and — via the golden
+//     digest, which CI also checks in a -DCSI_TELEMETRY=OFF build — compiled
+//     out entirely.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/telemetry.h"
+#include "src/common/thread_pool.h"
+#include "src/csi/batch_analyzer.h"
+#include "src/testbed/experiment.h"
+
+namespace csi {
+namespace {
+
+using infer::DesignType;
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+
+TEST(MetricsRegistry, SameNameAndLabelsYieldSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", {{"design", "SQ"}});
+  Counter* b = registry.GetCounter("requests_total", {{"design", "SQ"}});
+  Counter* c = registry.GetCounter("requests_total", {{"design", "CH"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order must not matter for identity.
+  Gauge* g1 = registry.GetGauge("depth", {{"a", "1"}, {"b", "2"}});
+  Gauge* g2 = registry.GetGauge("depth", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsRegistry, CountersSurviveConcurrentHammering) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hammered_total");
+  Histogram* hist = registry.GetHistogram("hammered_values", {10.0, 100.0});
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 10000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&](int64_t task) {
+    for (int i = 0; i < kPerTask; ++i) {
+      counter->Increment();
+      hist->Observe(static_cast<double>((task + i) % 150));
+    }
+  });
+  EXPECT_EQ(counter->Value(), static_cast<int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(hist->Count(), static_cast<int64_t>(kTasks) * kPerTask);
+}
+
+TEST(MetricsRegistry, GlobalMacrosRecordFromPoolWorkers) {
+  MetricsRegistry::Global().Reset();
+  ThreadPool pool(4);
+  pool.ParallelFor(32, [&](int64_t) {
+    CSI_COUNTER_INC("telemetry_test_macro_total");
+    CSI_HISTOGRAM_OBSERVE("telemetry_test_macro_hist", telemetry::CountBuckets(), 3);
+  });
+#if !defined(CSI_TELEMETRY_DISABLED)
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("telemetry_test_macro_total")->Value(), 32);
+#endif
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("bounds", {1.0, 2.5, 10.0});
+  // One observation per region, including both exact boundaries and the
+  // +Inf tail.
+  hist->Observe(0.5);   // <= 1.0
+  hist->Observe(1.0);   // <= 1.0 (boundary is inclusive)
+  hist->Observe(2.5);   // <= 2.5
+  hist->Observe(3.0);   // <= 10.0
+  hist->Observe(10.1);  // +Inf
+  const std::vector<int64_t> counts = hist->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(hist->Count(), 5);
+  EXPECT_DOUBLE_EQ(hist->Sum(), 0.5 + 1.0 + 2.5 + 3.0 + 10.1);
+}
+
+// Builds a small deterministic registry for the exporter goldens.
+MetricsSnapshot GoldenSnapshot() {
+  static MetricsRegistry registry;
+  static bool filled = false;
+  if (!filled) {
+    filled = true;
+    registry.GetCounter("csi_cache_hits_total")->Add(42);
+    registry.GetCounter("csi_queries_total", {{"design", "SQ"}})->Add(7);
+    registry.GetGauge("csi_queue_depth")->Set(3);
+    Histogram* hist = registry.GetHistogram("csi_stage_seconds", {0.001, 0.01},
+                                            {{"stage", "split"}});
+    hist->Observe(0.0005);
+    hist->Observe(0.002);
+    hist->Observe(5.0);
+  }
+  return registry.Snapshot();
+}
+
+TEST(Exporters, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": [\n"
+      "    {\"name\":\"csi_cache_hits_total\",\"labels\":{},\"value\":42},\n"
+      "    {\"name\":\"csi_queries_total\",\"labels\":{\"design\":\"SQ\"},\"value\":7}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\":\"csi_queue_depth\",\"labels\":{},\"value\":3}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\":\"csi_stage_seconds\",\"labels\":{\"stage\":\"split\"},"
+      "\"count\":3,\"sum\":5.0025,\"buckets\":["
+      "{\"le\":0.001,\"count\":1},"
+      "{\"le\":0.01,\"count\":2},"
+      "{\"le\":\"+Inf\",\"count\":3}]}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(GoldenSnapshot().ToJson(), expected);
+}
+
+TEST(Exporters, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE csi_cache_hits_total counter\n"
+      "csi_cache_hits_total 42\n"
+      "# TYPE csi_queries_total counter\n"
+      "csi_queries_total{design=\"SQ\"} 7\n"
+      "# TYPE csi_queue_depth gauge\n"
+      "csi_queue_depth 3\n"
+      "# TYPE csi_stage_seconds histogram\n"
+      "csi_stage_seconds_bucket{stage=\"split\",le=\"0.001\"} 1\n"
+      "csi_stage_seconds_bucket{stage=\"split\",le=\"0.01\"} 2\n"
+      "csi_stage_seconds_bucket{stage=\"split\",le=\"+Inf\"} 3\n"
+      "csi_stage_seconds_sum{stage=\"split\"} 5.0025\n"
+      "csi_stage_seconds_count{stage=\"split\"} 3\n";
+  EXPECT_EQ(GoldenSnapshot().ToPrometheus(), expected);
+}
+
+// --- Inference-output invariance -----------------------------------------
+
+std::vector<capture::CaptureTrace> MakeBatch(const media::Manifest& manifest,
+                                             DesignType design, int count,
+                                             TimeUs duration) {
+  std::vector<capture::CaptureTrace> traces;
+  for (int i = 0; i < count; ++i) {
+    testbed::SessionConfig config;
+    config.design = design;
+    config.manifest = &manifest;
+    Rng rng(500 + static_cast<uint64_t>(i));
+    config.downlink = (i % 2 == 0)
+                          ? nettrace::StableTrace("s", (3 + i % 3) * kMbps)
+                          : nettrace::CellularTrace("c", 5 * kMbps, 0.4, duration,
+                                                    2 * kUsPerSec, rng);
+    config.duration = duration;
+    config.seed = 40 + static_cast<uint64_t>(i);
+    traces.push_back(RunStreamingSession(config).capture);
+  }
+  return traces;
+}
+
+// FNV-1a over every integer field of the result; pure integer arithmetic, so
+// the digest is identical on any platform and in any build mode.
+uint64_t DigestResults(const std::vector<infer::InferenceResult>& results) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](int64_t v) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  for (const infer::InferenceResult& r : results) {
+    mix(static_cast<int64_t>(r.sequences.size()));
+    mix(r.truncated ? 1 : 0);
+    for (const infer::InferredSequence& seq : r.sequences) {
+      mix(static_cast<int64_t>(seq.slots.size()));
+      for (const infer::InferredSlot& slot : seq.slots) {
+        mix(static_cast<int64_t>(slot.kind));
+        mix(slot.chunk.track);
+        mix(slot.chunk.index);
+        mix(slot.request_time);
+        mix(slot.done_time);
+        mix(slot.estimated_size);
+      }
+    }
+    for (const infer::EstimatedExchange& ex : r.exchanges) {
+      mix(ex.request_time);
+      mix(ex.last_data_time);
+      mix(ex.estimated_size);
+      mix(ex.carries_sni ? 1 : 0);
+    }
+    for (int g : r.group_sizes) {
+      mix(g);
+    }
+  }
+  return h;
+}
+
+// Golden digest of the fixed SQ batch below. Computed with telemetry
+// enabled; must match with telemetry runtime-disabled and in a
+// -DCSI_TELEMETRY=OFF (compiled-out) build — CI runs this test in both
+// configurations.
+constexpr uint64_t kSqBatchDigest = 0x7d5e98917ed3562bull;
+
+std::vector<infer::InferenceResult> AnalyzeFixedSqBatch() {
+  const TimeUs duration = 90 * kUsPerSec;
+  const media::Manifest manifest = testbed::MakeAssetForDesign(DesignType::kSQ, 1, duration);
+  const auto traces = MakeBatch(manifest, DesignType::kSQ, 4, duration);
+  infer::InferenceConfig config;
+  config.design = DesignType::kSQ;
+  infer::BatchConfig batch;
+  batch.threads = 4;
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+  return analyzer.AnalyzeAll(traces);
+}
+
+TEST(TelemetryInvariance, ResultsByteIdenticalEnabledVsDisabled) {
+  telemetry::SetEnabled(true);
+  const auto with_telemetry = AnalyzeFixedSqBatch();
+  telemetry::SetEnabled(false);
+  const auto without_telemetry = AnalyzeFixedSqBatch();
+  telemetry::SetEnabled(true);
+  ASSERT_EQ(with_telemetry.size(), without_telemetry.size());
+  for (size_t i = 0; i < with_telemetry.size(); ++i) {
+    EXPECT_EQ(with_telemetry[i], without_telemetry[i]) << "trace " << i;
+  }
+  EXPECT_FALSE(with_telemetry.empty());
+  EXPECT_EQ(DigestResults(with_telemetry), DigestResults(without_telemetry));
+}
+
+TEST(TelemetryInvariance, GoldenDigestHoldsInEveryBuildMode) {
+  EXPECT_EQ(DigestResults(AnalyzeFixedSqBatch()), kSqBatchDigest);
+}
+
+TEST(TelemetryInvariance, AnalyzePopulatesStageHistograms) {
+#if !defined(CSI_TELEMETRY_DISABLED)
+  MetricsRegistry::Global().Reset();
+  telemetry::SetEnabled(true);
+  AnalyzeFixedSqBatch();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool saw_analyze_span = false;
+  bool saw_split_span = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "csi_stage_duration_seconds" || h.labels.empty()) {
+      continue;
+    }
+    saw_analyze_span |= h.labels[0].second == "analyze" && h.count == 4;
+    saw_split_span |= h.labels[0].second == "traffic_split" && h.count == 4;
+  }
+  EXPECT_TRUE(saw_analyze_span);
+  EXPECT_TRUE(saw_split_span);
+  int64_t queries = 0;
+  int64_t batch_traces = 0;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "csi_candidate_queries_total") {
+      queries = c.value;
+    }
+    if (c.name == "csi_batch_traces_total") {
+      batch_traces = c.value;
+    }
+  }
+  EXPECT_GT(queries, 0);
+  EXPECT_EQ(batch_traces, 4);
+#endif
+}
+
+TEST(BatchAnalyzer, ProgressCallbackAndTimingSlots) {
+  const TimeUs duration = 60 * kUsPerSec;
+  const media::Manifest manifest = testbed::MakeAssetForDesign(DesignType::kCH, 2, duration);
+  const auto traces = MakeBatch(manifest, DesignType::kCH, 5, duration);
+  infer::InferenceConfig config;
+  config.design = DesignType::kCH;
+  infer::BatchConfig batch;
+  batch.threads = 2;
+  batch.progress_every = 2;
+  std::vector<std::pair<size_t, size_t>> ticks;
+  std::mutex mu;
+  batch.progress = [&](size_t done, size_t total) {
+    std::lock_guard<std::mutex> lock(mu);
+    ticks.emplace_back(done, total);
+  };
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+  std::vector<double> seconds;
+  const auto results = analyzer.AnalyzeAll(traces, &seconds);
+  ASSERT_EQ(results.size(), 5u);
+  ASSERT_EQ(seconds.size(), 5u);
+  for (double s : seconds) {
+    EXPECT_GT(s, 0.0);
+  }
+  // Every tick reports total == 5, and the final tick fires at done == 5
+  // regardless of divisibility by progress_every.
+  ASSERT_FALSE(ticks.empty());
+  bool saw_final = false;
+  for (const auto& [done, total] : ticks) {
+    EXPECT_EQ(total, 5u);
+    saw_final |= done == 5u;
+  }
+  EXPECT_TRUE(saw_final);
+}
+
+}  // namespace
+}  // namespace csi

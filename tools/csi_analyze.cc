@@ -3,6 +3,7 @@
 // Usage:
 //   csi_analyze --pcap session.pcap --manifest video.manifest --design SH
 //               [--host suffix] [--max-sequences N] [--report sequence|qoe|both]
+//               [--metrics-out FILE] [--metrics-format json|prom]
 //
 // Inputs are exactly what a real deployment has (paper §4): a tcpdump pcap of
 // the encrypted session and the chunk-size manifest collected ahead of time.
@@ -16,6 +17,7 @@
 
 #include "src/capture/pcap_io.h"
 #include "src/common/table.h"
+#include "src/common/telemetry.h"
 #include "src/csi/inference.h"
 #include "src/csi/qoe.h"
 
@@ -30,7 +32,8 @@ namespace {
   std::fprintf(stderr,
                "usage: csi_analyze --pcap FILE --manifest FILE --design CH|SH|CQ|SQ\n"
                "                   [--host SUFFIX] [--max-sequences N]\n"
-               "                   [--report sequence|qoe|both]\n");
+               "                   [--report sequence|qoe|both]\n"
+               "                   [--metrics-out FILE] [--metrics-format json|prom]\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -69,6 +72,8 @@ int main(int argc, char** argv) {
   std::string design_name;
   std::string host_suffix;
   std::string report = "both";
+  std::string metrics_out;
+  std::string metrics_format = "json";
   int max_sequences = 512;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +96,10 @@ int main(int argc, char** argv) {
       max_sequences = std::stoi(next());
     } else if (arg == "--report") {
       report = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--metrics-format") {
+      metrics_format = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage(nullptr);
     } else {
@@ -102,6 +111,9 @@ int main(int argc, char** argv) {
   }
   if (report != "sequence" && report != "qoe" && report != "both") {
     Usage("--report must be sequence, qoe or both");
+  }
+  if (metrics_format != "json" && metrics_format != "prom") {
+    Usage("--metrics-format must be json or prom");
   }
 
   const media::Manifest manifest = media::Manifest::Parse(ReadFileOrDie(manifest_path));
@@ -119,6 +131,18 @@ int main(int argc, char** argv) {
   }
   const infer::InferenceEngine engine(&manifest, config);
   const infer::InferenceResult result = engine.Analyze(trace);
+  // Snapshot right after Analyze so the export happens even on the
+  // no-sequence early exit below.
+  if (!metrics_out.empty()) {
+    const telemetry::MetricsSnapshot snapshot =
+        telemetry::MetricsRegistry::Global().Snapshot();
+    std::ofstream metrics(metrics_out, std::ios::binary);
+    if (!metrics) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n", metrics_out.c_str());
+      return 2;
+    }
+    metrics << (metrics_format == "prom" ? snapshot.ToPrometheus() : snapshot.ToJson());
+  }
   std::printf("inference: %zu candidate sequence(s)%s\n\n", result.sequences.size(),
               result.truncated ? " (truncated)" : "");
   if (result.sequences.empty()) {

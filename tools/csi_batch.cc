@@ -3,14 +3,22 @@
 // Usage:
 //   csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)
 //             [--threads N] [--repeat R] [--host SUFFIX] [--quiet]
+//             [--metrics-out FILE] [--metrics-format json|prom]
 //
 // The deployment workload (paper §6.2.3 scaled up): a directory of per-device
 // captures of the same service, analyzed over one shared chunk database.
-// Prints per-trace summaries plus batch throughput in sessions/sec.
+// Prints per-trace summaries plus batch throughput in sessions/sec, and can
+// dump a pipeline-telemetry snapshot (stage latencies, cache hit rates,
+// thread-pool stats) next to the results.
+//
+// Unreadable pcaps do not abort the batch: each failure is recorded and
+// counted, the remaining traces are analyzed, and the exit status is
+// non-zero only at the end (with a failure summary).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +26,8 @@
 #include <vector>
 
 #include "src/capture/pcap_io.h"
+#include "src/common/stats.h"
+#include "src/common/telemetry.h"
 #include "src/csi/batch_analyzer.h"
 
 using namespace csi;
@@ -30,7 +40,8 @@ namespace {
   }
   std::fprintf(stderr,
                "usage: csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)\n"
-               "                 [--threads N] [--repeat R] [--host SUFFIX] [--quiet]\n");
+               "                 [--threads N] [--repeat R] [--host SUFFIX] [--quiet]\n"
+               "                 [--metrics-out FILE] [--metrics-format json|prom]\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -63,11 +74,26 @@ infer::DesignType ParseDesign(const std::string& name) {
 
 }  // namespace
 
+// Writes the global metrics snapshot; returns false (with a message) on
+// filesystem failure.
+bool WriteMetrics(const std::string& path, const std::string& format) {
+  const telemetry::MetricsSnapshot snapshot = telemetry::MetricsRegistry::Global().Snapshot();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  out << (format == "prom" ? snapshot.ToPrometheus() : snapshot.ToJson());
+  return true;
+}
+
 int main(int argc, char** argv) {
   std::string manifest_path;
   std::string design_name;
   std::string dir;
   std::string host_suffix;
+  std::string metrics_out;
+  std::string metrics_format = "json";
   std::vector<std::string> pcap_paths;
   int threads = 0;
   int repeat = 1;
@@ -95,6 +121,10 @@ int main(int argc, char** argv) {
       host_suffix = next();
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--metrics-format") {
+      metrics_format = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage(nullptr);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -126,18 +156,35 @@ int main(int argc, char** argv) {
   if (repeat < 1) {
     Usage("--repeat must be >= 1");
   }
+  if (metrics_format != "json" && metrics_format != "prom") {
+    Usage("--metrics-format must be json or prom");
+  }
 
   const media::Manifest manifest = media::Manifest::Parse(ReadFileOrDie(manifest_path));
+  // A corrupt capture is an expected condition at deployment scale (truncated
+  // tcpdump, mid-rotation file): record it, keep going, fail at the end.
   std::vector<capture::CaptureTrace> traces;
+  std::vector<std::string> loaded_paths;
+  std::vector<std::pair<std::string, std::string>> failures;
   traces.reserve(pcap_paths.size());
   size_t total_packets = 0;
   for (const std::string& path : pcap_paths) {
-    traces.push_back(capture::ReadPcap(path));
+    try {
+      traces.push_back(capture::ReadPcap(path));
+    } catch (const std::exception& e) {
+      failures.emplace_back(path, e.what());
+      CSI_COUNTER_INC("csi_batch_trace_load_failures_total");
+      continue;
+    }
+    loaded_paths.push_back(path);
     total_packets += traces.back().size();
   }
   std::printf("loaded %zu trace(s), %zu packets total; manifest %s: %d tracks x %d chunks\n",
               traces.size(), total_packets, manifest.asset_id.c_str(),
               manifest.num_video_tracks(), manifest.num_positions());
+  for (const auto& [path, what] : failures) {
+    std::fprintf(stderr, "warning: skipped %s: %s\n", path.c_str(), what.c_str());
+  }
 
   infer::InferenceConfig config;
   config.design = ParseDesign(design_name);
@@ -146,24 +193,53 @@ int main(int argc, char** argv) {
   }
   infer::BatchConfig batch;
   batch.threads = threads;
+  if (!quiet) {
+    batch.progress = [](size_t done, size_t total_traces) {
+      std::fprintf(stderr, "  ...%zu/%zu traces\n", done, total_traces);
+    };
+  }
   infer::BatchAnalyzer analyzer(&manifest, config, batch);
 
   std::vector<infer::InferenceResult> results;
+  std::vector<double> trace_seconds;
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < repeat; ++r) {
-    results = analyzer.AnalyzeAll(traces);
+    results = analyzer.AnalyzeAll(traces, &trace_seconds);
   }
   const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
 
   if (!quiet) {
     for (size_t i = 0; i < results.size(); ++i) {
-      std::printf("  %-40s %4zu sequence(s)%s\n", pcap_paths[i].c_str(),
-                  results[i].sequences.size(), results[i].truncated ? " (truncated)" : "");
+      std::printf("  %-40s %4zu sequence(s)%s  %.3f s\n", loaded_paths[i].c_str(),
+                  results[i].sequences.size(), results[i].truncated ? " (truncated)" : "",
+                  trace_seconds[i]);
     }
   }
   const double sessions = static_cast<double>(traces.size()) * repeat;
   std::printf("analyzed %.0f session(s) in %.3f s on %d worker(s): %.2f sessions/sec\n",
               sessions, elapsed.count(), analyzer.threads(),
               sessions / std::max(elapsed.count(), 1e-9));
-  return 0;
+  if (!trace_seconds.empty()) {
+    RunningStats per_trace;
+    for (double s : trace_seconds) {
+      per_trace.Add(s);
+    }
+    std::printf("per-trace seconds (last repeat): min %.4f  mean %.4f  p95 %.4f  max %.4f\n",
+                per_trace.min(), per_trace.mean(),
+                Percentile(trace_seconds, 95.0), per_trace.max());
+  }
+
+  bool metrics_ok = true;
+  if (!metrics_out.empty()) {
+    metrics_ok = WriteMetrics(metrics_out, metrics_format);
+  }
+  if (!failures.empty()) {
+    std::fprintf(stderr, "error: %zu of %zu pcap(s) failed to load:\n", failures.size(),
+                 pcap_paths.size());
+    for (const auto& [path, what] : failures) {
+      std::fprintf(stderr, "  %s: %s\n", path.c_str(), what.c_str());
+    }
+    return 1;
+  }
+  return metrics_ok ? 0 : 1;
 }
