@@ -1,0 +1,162 @@
+// ChunkDatabase build and size-window-scan microbenchmarks (PR 3 tentpole).
+//
+// BM_DbBuild sweeps the shard count of the index build over a worker pool on
+// a deployment-scale synthetic manifest (the index is byte-identical for
+// every shard count — db_differential_test — so this measures pure build
+// speed). BM_SizeWindowScan compares the scalar and SIMD count kernels on the
+// exact window the hybrid FlatRange query hands them, and BM_CandidateQuery
+// measures the end-to-end lookup both ways.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/simd.h"
+#include "src/common/thread_pool.h"
+#include "src/csi/chunk_database.h"
+#include "src/media/manifest.h"
+
+using namespace csi;
+
+namespace {
+
+// A large VBR ladder: 12 tracks x 4096 positions ~ 49k chunks, an order of
+// magnitude past the testbed assets so the build has something to chew on.
+const media::Manifest& BigManifest() {
+  static std::unique_ptr<media::Manifest> cache;
+  if (cache == nullptr) {
+    cache = std::make_unique<media::Manifest>();
+    cache->asset_id = "bench-db-build";
+    cache->host = "bench.example";
+    Rng rng(0xdbb);
+    for (int t = 0; t < 12; ++t) {
+      media::Track track;
+      track.name = "v" + std::to_string(t);
+      track.type = media::MediaType::kVideo;
+      track.nominal_bitrate = (t + 1) * 1'000'000;
+      const double mean = 250'000.0 * (t + 1);
+      for (int i = 0; i < 4096; ++i) {
+        const Bytes size = static_cast<Bytes>(mean * rng.Uniform(0.5, 1.8));
+        track.chunks.push_back(media::Chunk{size, 2'000'000});
+      }
+      cache->video_tracks.push_back(std::move(track));
+    }
+  }
+  return *cache;
+}
+
+void BM_DbBuild(benchmark::State& state) {
+  const media::Manifest& manifest = BigManifest();
+  const int shards = static_cast<int>(state.range(0));
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    infer::ChunkDatabase db(&manifest,
+                            infer::DbBuildOptions{shards > 1 ? &pool : nullptr, shards});
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["chunks"] =
+      static_cast<double>(manifest.num_video_tracks()) * manifest.num_positions();
+}
+
+// Forces `backend` for the benchmark body, restoring the default after.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(simd::Backend backend)
+      : saved_(simd::ActiveBackend()), ok_(simd::ForceBackend(backend)) {}
+  ~ScopedBackend() { simd::ForceBackend(saved_); }
+  bool ok() const { return ok_; }
+
+ private:
+  simd::Backend saved_;
+  bool ok_;
+};
+
+void ScanBody(benchmark::State& state, simd::Backend backend) {
+  ScopedBackend scoped(backend);
+  if (!scoped.ok()) {
+    state.SkipWithError("backend unavailable on this build/CPU");
+    return;
+  }
+  // The exact shape FlatRange hands the kernel: a <=128-element sorted run.
+  Rng rng(0x51);
+  std::vector<int64_t> window(128);
+  int64_t v = 1000;
+  for (auto& x : window) {
+    v += rng.UniformInt(0, 512);
+    x = v;
+  }
+  std::vector<int64_t> bounds(1024);
+  for (auto& b : bounds) {
+    b = rng.UniformInt(window.front() - 100, window.back() + 100);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t count = simd::CountBelow(window.data(), window.size(), bounds[i]);
+    benchmark::DoNotOptimize(count);
+    i = (i + 1) & (bounds.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(window.size()));
+  state.SetLabel(simd::BackendName(backend));
+}
+
+void BM_SizeWindowScan_Scalar(benchmark::State& state) {
+  ScanBody(state, simd::Backend::kScalar);
+}
+
+void BM_SizeWindowScan_Simd(benchmark::State& state) {
+  // Widest vector backend this build/CPU supports.
+  simd::Backend best = simd::Backend::kScalar;
+  for (simd::Backend b :
+       {simd::Backend::kSse2, simd::Backend::kNeon, simd::Backend::kAvx2}) {
+    if (simd::BackendSupported(b)) {
+      best = b;
+    }
+  }
+  if (best == simd::Backend::kScalar) {
+    state.SkipWithError("no vector backend on this build/CPU");
+    return;
+  }
+  ScanBody(state, best);
+}
+
+void QueryBody(benchmark::State& state, bool scalar) {
+  ScopedBackend scoped(scalar ? simd::Backend::kScalar : simd::ActiveBackend());
+  const media::Manifest& manifest = BigManifest();
+  const infer::ChunkDatabase db(&manifest);
+  Rng rng(0x63);
+  std::vector<Bytes> estimates(1024);
+  const Bytes max_size = db.flat_sizes().back();
+  for (auto& e : estimates) {
+    e = rng.UniformInt(1, max_size);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool hit = db.HasVideoCandidate(estimates[i], 0.05);
+    benchmark::DoNotOptimize(hit);
+    i = (i + 1) & (estimates.size() - 1);
+  }
+  state.SetLabel(simd::BackendName(simd::ActiveBackend()));
+}
+
+void BM_CandidateQuery_Scalar(benchmark::State& state) { QueryBody(state, true); }
+void BM_CandidateQuery_Dispatched(benchmark::State& state) { QueryBody(state, false); }
+
+}  // namespace
+
+BENCHMARK(BM_DbBuild)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_SizeWindowScan_Scalar);
+BENCHMARK(BM_SizeWindowScan_Simd);
+BENCHMARK(BM_CandidateQuery_Scalar);
+BENCHMARK(BM_CandidateQuery_Dispatched);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Monotonic bump-pointer arena with a std-compatible allocator adapter.
+//
+// The group search allocates thousands of short-lived candidate and scratch
+// vectors per query; a monotonic arena turns those into pointer bumps and
+// reclaims everything with one Reset() between queries (the largest block is
+// retained, so a steady-state searcher stops touching the heap entirely).
+//
+// Threading: an arena is single-threaded by design. Share one per searcher /
+// per worker, never across concurrent writers — vectors handed to worker
+// threads must use the default allocator.
+
+#ifndef CSI_SRC_COMMON_ARENA_H_
+#define CSI_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace csi {
+
+class MonotonicArena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit MonotonicArena(size_t min_block_bytes = kDefaultBlockBytes)
+      : min_block_bytes_(min_block_bytes == 0 ? kDefaultBlockBytes
+                                              : min_block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  // Bump-allocates `bytes` aligned to `align` (a power of two). Never
+  // returns null; grows by whole blocks when the current block is full.
+  void* Allocate(size_t bytes, size_t align) {
+    if (bytes == 0) {
+      bytes = 1;
+    }
+    size_t offset = AlignUp(used_, align);
+    if (blocks_.empty() || offset + bytes > blocks_.back().size) {
+      AddBlock(bytes + align);
+      offset = AlignUp(used_, align);
+    }
+    std::byte* p = blocks_.back().data.get() + offset;
+    used_ = offset + bytes;
+    allocated_since_reset_ += bytes;
+    if (allocated_since_reset_ > peak_bytes_) {
+      peak_bytes_ = allocated_since_reset_;
+    }
+    return p;
+  }
+
+  // Invalidates every pointer handed out so far. The largest block is kept,
+  // the rest are released — a steady-state caller reaches a fixed footprint
+  // and never allocates again.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      size_t largest = 0;
+      for (size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[largest].size) {
+          largest = i;
+        }
+      }
+      std::swap(blocks_[0], blocks_[largest]);
+      blocks_.resize(1);
+    }
+    used_ = 0;
+    allocated_since_reset_ = 0;
+    ++resets_;
+  }
+
+  // Bytes handed out since the last Reset().
+  size_t bytes_allocated() const { return allocated_since_reset_; }
+  // High-water mark of bytes_allocated() over the arena's lifetime.
+  size_t peak_bytes() const { return peak_bytes_; }
+  size_t resets() const { return resets_; }
+  size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  static size_t AlignUp(size_t value, size_t align) {
+    return (value + align - 1) & ~(align - 1);
+  }
+
+  void AddBlock(size_t at_least) {
+    // Double the footprint each growth so a query with unexpectedly large
+    // working set costs O(log n) blocks, not O(n).
+    size_t size = min_block_bytes_;
+    if (!blocks_.empty()) {
+      size = blocks_.back().size * 2;
+    }
+    if (size < at_least) {
+      size = at_least;
+    }
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    used_ = 0;
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t used_ = 0;  // bytes consumed in blocks_.back()
+  size_t allocated_since_reset_ = 0;
+  size_t peak_bytes_ = 0;
+  size_t resets_ = 0;
+};
+
+// std::allocator-compatible adapter over a MonotonicArena. deallocate is a
+// no-op: memory is reclaimed only by MonotonicArena::Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  MonotonicArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace csi
+
+#endif  // CSI_SRC_COMMON_ARENA_H_

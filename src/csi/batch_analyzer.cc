@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "src/common/telemetry.h"
@@ -30,16 +32,27 @@ BatchAnalyzer::BatchAnalyzer(const media::Manifest* manifest, InferenceConfig co
                 if (batch.parallel_group_search) {
                   config.search_pool = &pool_;
                 }
+                // The shared database builds once, before any trace runs, so
+                // the batch pool is idle and free to take the shard jobs.
+                if (config.db_build_pool == nullptr) {
+                  config.db_build_pool = &pool_;
+                }
+                if (config.db_build_shards == 0) {
+                  config.db_build_shards = batch.db_build_shards;
+                }
                 return std::move(config);
               }()) {}
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
     const std::vector<const capture::CaptureTrace*>& traces,
-    std::vector<double>* trace_seconds) {
+    std::vector<double>* trace_seconds, std::vector<std::string>* trace_errors) {
   const size_t total = traces.size();
   std::vector<InferenceResult> results(total);
   if (trace_seconds != nullptr) {
     trace_seconds->assign(total, 0.0);
+  }
+  if (trace_errors != nullptr) {
+    trace_errors->assign(total, std::string());
   }
   std::atomic<size_t> completed{0};
   std::mutex progress_mu;
@@ -47,7 +60,24 @@ std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
     // One clock pair per trace is noise next to Analyze itself; reading it
     // unconditionally keeps the timing slots available with telemetry off.
     const auto start = std::chrono::steady_clock::now();
-    results[static_cast<size_t>(i)] = engine_.Analyze(*traces[static_cast<size_t>(i)]);
+    // A throwing trace must not take its siblings down with it: the slot
+    // keeps a default result and the error is reported by index. Letting the
+    // exception escape would make ParallelFor abort the remaining traces.
+    try {
+      const capture::CaptureTrace& trace = *traces[static_cast<size_t>(i)];
+      results[static_cast<size_t>(i)] =
+          batch_.analyze_override ? batch_.analyze_override(trace) : engine_.Analyze(trace);
+    } catch (const std::exception& e) {
+      if (trace_errors != nullptr) {
+        (*trace_errors)[static_cast<size_t>(i)] = e.what();
+      }
+      CSI_COUNTER_INC("csi_batch_trace_analyze_failures_total");
+    } catch (...) {
+      if (trace_errors != nullptr) {
+        (*trace_errors)[static_cast<size_t>(i)] = "unknown error";
+      }
+      CSI_COUNTER_INC("csi_batch_trace_analyze_failures_total");
+    }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     if (trace_seconds != nullptr) {
@@ -68,13 +98,14 @@ std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
 }
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
-    const std::vector<capture::CaptureTrace>& traces, std::vector<double>* trace_seconds) {
+    const std::vector<capture::CaptureTrace>& traces, std::vector<double>* trace_seconds,
+    std::vector<std::string>* trace_errors) {
   std::vector<const capture::CaptureTrace*> pointers;
   pointers.reserve(traces.size());
   for (const capture::CaptureTrace& trace : traces) {
     pointers.push_back(&trace);
   }
-  return AnalyzeAll(pointers, trace_seconds);
+  return AnalyzeAll(pointers, trace_seconds, trace_errors);
 }
 
 }  // namespace csi::infer

@@ -16,6 +16,7 @@
 #define CSI_SRC_CSI_BATCH_ANALYZER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -31,6 +32,13 @@ struct BatchConfig {
   // per-trace fan-out already saturates the pool, and intra-trace
   // parallelism only helps when analyzing fewer traces than workers.
   bool parallel_group_search = false;
+  // Shard count for the shared ChunkDatabase build, fanned over the batch
+  // pool; 0 = one shard per worker plus the caller, 1 = serial build. The
+  // index is byte-identical for every value (db_differential_test).
+  int db_build_shards = 0;
+  // Test seam / fault injection: when set, called instead of
+  // InferenceEngine::Analyze for every trace.
+  std::function<InferenceResult(const capture::CaptureTrace&)> analyze_override;
   // Invoked with (completed, total) after every `progress_every`-th completed
   // trace and once at batch end. Called from worker threads, serialized by a
   // mutex — keep it cheap. Completion order is scheduling-dependent; only the
@@ -49,11 +57,19 @@ class BatchAnalyzer {
   // If `trace_seconds` is non-null it is resized to the batch size and
   // slot i receives trace i's wall-clock analysis time (by-index slots, so
   // the output is deterministic even though scheduling is not).
+  //
+  // Fault isolation: a trace whose analysis throws does not poison its
+  // siblings. The failed slot keeps a default-constructed InferenceResult,
+  // the exception message lands in trace_errors[i] (when non-null; sibling
+  // slots hold empty strings), and csi_batch_trace_analyze_failures_total is
+  // incremented — the batch itself always completes.
   std::vector<InferenceResult> AnalyzeAll(
       const std::vector<const capture::CaptureTrace*>& traces,
-      std::vector<double>* trace_seconds = nullptr);
+      std::vector<double>* trace_seconds = nullptr,
+      std::vector<std::string>* trace_errors = nullptr);
   std::vector<InferenceResult> AnalyzeAll(const std::vector<capture::CaptureTrace>& traces,
-                                          std::vector<double>* trace_seconds = nullptr);
+                                          std::vector<double>* trace_seconds = nullptr,
+                                          std::vector<std::string>* trace_errors = nullptr);
 
   const InferenceEngine& engine() const { return engine_; }
   int threads() const { return pool_.num_workers(); }

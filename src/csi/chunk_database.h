@@ -6,27 +6,49 @@
 // S in [S~/(1+k), S~]?
 //
 // Storage is a single flat size-sorted index over *all* video chunks (SoA:
-// one contiguous sizes array plus a parallel packed (track, index) array), so
-// a range query is one lower_bound/upper_bound pair over contiguous memory
-// instead of one binary search per track. The database is immutable after
-// construction and safe to share across threads (batch inference fans many
-// Analyze calls out over one instance).
+// one contiguous sizes array plus a parallel packed (track, index) array).
+// Construction can be sharded across a thread pool: each shard sorts a
+// contiguous slice of the (size, ref) pairs and the sorted runs are merged in
+// a fixed order — the comparator is a strict total order (packed refs are
+// unique), so the final index is byte-identical to the serial build for every
+// shard count (locked in by tests/db_differential_test.cc).
+//
+// A range query binary-narrows the sorted sizes array to a small window and
+// resolves the exact bounds with a SIMD count scan (src/common/simd.h); the
+// scalar and vector paths return identical candidate sets. The database is
+// immutable after construction and safe to share across threads (batch
+// inference fans many Analyze calls out over one instance).
 
 #ifndef CSI_SRC_CSI_CHUNK_DATABASE_H_
 #define CSI_SRC_CSI_CHUNK_DATABASE_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/units.h"
 #include "src/media/manifest.h"
 
+namespace csi {
+class ThreadPool;
+}
+
 namespace csi::infer {
+
+struct DbBuildOptions {
+  // Worker pool the shard jobs fan out over; null builds on the calling
+  // thread (shards are still sorted/merged independently, just serially).
+  ThreadPool* pool = nullptr;
+  // Number of index shards; 0 picks pool->num_workers() + 1 (or 1 without a
+  // pool). The resulting index is byte-identical for every value.
+  int shards = 0;
+};
 
 class ChunkDatabase {
  public:
   explicit ChunkDatabase(const media::Manifest* manifest);
+  ChunkDatabase(const media::Manifest* manifest, const DbBuildOptions& options);
 
   // All video chunks whose true size could have produced estimate
   // `estimated` under error bound `k`. Ordered by (track, size, index).
@@ -65,6 +87,13 @@ class ChunkDatabase {
 
   const media::Manifest* manifest() const { return manifest_; }
 
+  // Flat-index internals, exposed for the differential tests and benches:
+  // sorted sizes and the parallel packed (track, index) words.
+  const std::vector<Bytes>& flat_sizes() const { return sizes_; }
+  const std::vector<uint32_t>& flat_packed_refs() const { return packed_refs_; }
+  // Shard count the index was built with.
+  int build_shards() const { return build_shards_; }
+
  private:
   // Packs (track, index) into one word of the flat index.
   static uint32_t PackRef(int track, int index) {
@@ -81,6 +110,7 @@ class ChunkDatabase {
   const media::Manifest* manifest_;
   int num_tracks_ = 0;
   int num_positions_ = 0;
+  int build_shards_ = 1;
   // Flat global index, sorted by (size, track, index). `sizes_[i]` and
   // `packed_refs_[i]` describe the same chunk.
   std::vector<Bytes> sizes_;
@@ -101,9 +131,19 @@ class ChunkDatabase {
 // analysis. The cache is deliberately *per analysis call*, not per database:
 // it is single-threaded by construction, which keeps the shared ChunkDatabase
 // free of mutable state and race-free under batch inference.
+//
+// Bounded: each memo holds at most `max_entries_per_memo` windows; inserting
+// past the cap evicts the oldest entry (FIFO), so an arbitrarily long session
+// cannot grow the cache without limit. A returned reference is therefore only
+// valid until the next call on the same cache.
 class CandidateQueryCache {
  public:
-  explicit CandidateQueryCache(const ChunkDatabase* db) : db_(db) {}
+  static constexpr size_t kDefaultMaxEntriesPerMemo = 4096;
+
+  explicit CandidateQueryCache(const ChunkDatabase* db,
+                               size_t max_entries_per_memo = kDefaultMaxEntriesPerMemo)
+      : db_(db),
+        max_entries_per_memo_(max_entries_per_memo == 0 ? 1 : max_entries_per_memo) {}
 
   // Cached ChunkDatabase::VideoCandidates(estimated, k).
   const std::vector<media::ChunkRef>& VideoCandidates(Bytes estimated, double k);
@@ -113,25 +153,42 @@ class CandidateQueryCache {
   const ChunkDatabase& db() const { return *db_; }
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+  size_t evictions() const { return evictions_; }
+  // Total entries currently held across both memos.
+  size_t size() const {
+    return track_ordered_memo_.map.size() + flat_ordered_memo_.map.size();
+  }
+  size_t max_entries_per_memo() const { return max_entries_per_memo_; }
 
  private:
+  using Window = std::pair<Bytes, Bytes>;
+
   struct WindowHash {
-    size_t operator()(const std::pair<Bytes, Bytes>& w) const {
+    size_t operator()(const Window& w) const {
       return std::hash<Bytes>()(w.first) ^ (std::hash<Bytes>()(w.second) * 0x9E3779B97F4A7C15ull);
     }
   };
 
-  using WindowMemo =
-      std::unordered_map<std::pair<Bytes, Bytes>, std::vector<media::ChunkRef>, WindowHash>;
+  // One memo plus its FIFO eviction order.
+  struct Memo {
+    std::unordered_map<Window, std::vector<media::ChunkRef>, WindowHash> map;
+    std::deque<Window> order;
+  };
+
+  template <typename Fetch>
+  const std::vector<media::ChunkRef>& Lookup(Memo* memo, const Window& window,
+                                             const Fetch& fetch);
 
   const ChunkDatabase* db_;
+  size_t max_entries_per_memo_;
   // Keyed on the admissible byte window [lo, hi]; a (estimate, k) query maps
   // to ([AdmissibleLow(estimate, k), estimate]). Two memos because the two
   // entry points guarantee different orderings.
-  WindowMemo track_ordered_memo_;
-  WindowMemo flat_ordered_memo_;
+  Memo track_ordered_memo_;
+  Memo flat_ordered_memo_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace csi::infer

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <queue>
 #include <tuple>
@@ -14,11 +15,14 @@ namespace csi::infer {
 namespace {
 
 // Prefix sums of per-position min/max video chunk sizes, for DFS pruning.
+// Arena-backed: rebuilt per enumeration, dropped wholesale at the next reset.
 struct SizeBounds {
-  std::vector<Bytes> min_prefix;  // min_prefix[i] = sum of MinSizeAt(0..i-1)
-  std::vector<Bytes> max_prefix;
+  ArenaVector<Bytes> min_prefix;  // min_prefix[i] = sum of MinSizeAt(0..i-1)
+  ArenaVector<Bytes> max_prefix;
 
-  explicit SizeBounds(const ChunkDatabase& db) {
+  SizeBounds(const ChunkDatabase& db, MonotonicArena* arena)
+      : min_prefix(ArenaAllocator<Bytes>(arena)),
+        max_prefix(ArenaAllocator<Bytes>(arena)) {
     const int p = db.num_positions();
     min_prefix.assign(static_cast<size_t>(p) + 1, 0);
     max_prefix.assign(static_cast<size_t>(p) + 1, 0);
@@ -53,10 +57,11 @@ struct ObjectSplit {
 // enumeration order (mask outer, then deficit, then video count). Splits
 // depend only on the group and config, never on the start range — computing
 // them once up front is what lets per-start work be partitioned freely.
-std::vector<ObjectSplit> EnumerateObjectSplits(const TrafficGroup& group,
+ArenaVector<ObjectSplit> EnumerateObjectSplits(const TrafficGroup& group,
                                                const ChunkDatabase& db,
-                                               const GroupSearchConfig& config) {
-  std::vector<ObjectSplit> splits;
+                                               const GroupSearchConfig& config,
+                                               MonotonicArena* arena) {
+  ArenaVector<ObjectSplit> splits{ArenaAllocator<ObjectSplit>(arena)};
   const int n_req = group.num_requests();
   const Bytes audio_size = db.audio_sizes().empty() ? 0 : db.audio_sizes()[0];
   const int num_others = static_cast<int>(config.other_object_sizes.size());
@@ -173,30 +178,38 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                                                      const DisplayConstraints& display,
                                                      int start_lo, int start_hi,
                                                      bool* truncated,
-                                                     CandidateQueryCache* cache) {
-  std::vector<GroupCandidate> candidates;
+                                                     CandidateQueryCache* cache,
+                                                     MonotonicArena* arena) {
   const int n_req = group.num_requests();
   if (n_req == 0) {
-    return candidates;
+    return {};
   }
   CSI_SPAN("candidate_enum");
   CSI_COUNTER_INC("csi_group_enumerations_total");
   if (n_req > config.max_group_requests) {
+    std::vector<GroupCandidate> oversized;
     if (config.enable_wildcards) {
       CSI_COUNTER_INC("csi_group_wildcards_total");
       GroupCandidate wild;
       wild.wildcard = true;
-      candidates.push_back(wild);
+      oversized.push_back(wild);
     }
-    return candidates;
+    return oversized;
   }
+  // Every allocation below that does not cross a thread boundary lands in the
+  // arena: it is scratch, reclaimed wholesale by the reset at the next call.
+  MonotonicArena local_arena;
+  MonotonicArena* scratch = arena != nullptr ? arena : &local_arena;
+  scratch->Reset();
+  ArenaVector<GroupCandidate> candidates{ArenaAllocator<GroupCandidate>(scratch)};
   const Bytes audio_size = db.audio_sizes().empty() ? 0 : db.audio_sizes()[0];
   const int positions = db.num_positions();
   const int tracks = db.num_video_tracks();
   start_lo = std::max(start_lo, 0);
   start_hi = std::min(start_hi, positions - 1);
 
-  const std::vector<ObjectSplit> splits = EnumerateObjectSplits(group, db, config);
+  const ArenaVector<ObjectSplit> splits =
+      EnumerateObjectSplits(group, db, config, scratch);
   bool capped_flag = false;
 
   // Video-free explanations (start-agnostic): valid when the window admits
@@ -228,7 +241,8 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
       hits_storage = db.VideoCandidatesInSizeRange(lo, split.video_hi);
       hits = &hits_storage;
     }
-    std::vector<media::ChunkRef> admitted;
+    ArenaVector<media::ChunkRef> admitted{ArenaAllocator<media::ChunkRef>(scratch)};
+    admitted.reserve(hits->size());
     for (const media::ChunkRef& ref : *hits) {
       if (ref.index < start_lo || ref.index > start_hi) {
         continue;
@@ -269,10 +283,12 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
     any_multi = any_multi || split.video_count >= 2;
   }
   if (any_multi && start_lo <= start_hi) {
-    const SizeBounds bounds(db);
+    const SizeBounds bounds(db, scratch);
     const int range = start_hi - start_lo + 1;
     const int64_t per_start_nodes =
         std::max<int64_t>(config.max_dfs_nodes / range, 1 << 16);
+    // Per-start outputs are written by pool workers, so they stay on the
+    // default allocator — the single-threaded arena must not cross threads.
     std::vector<std::vector<GroupCandidate>> per_start(static_cast<size_t>(range));
     std::vector<char> start_capped(static_cast<size_t>(range), 0);
     ParallelFor(config.pool, range, [&](int64_t job) {
@@ -352,7 +368,13 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
     wild.wildcard = true;
     candidates.push_back(wild);
   }
-  return candidates;
+  // The survivors move out to caller-owned storage; everything else the
+  // enumeration touched dies with the arena at the next reset.
+  std::vector<GroupCandidate> result;
+  result.reserve(candidates.size());
+  std::move(candidates.begin(), candidates.end(), std::back_inserter(result));
+  CSI_GAUGE_SET("csi_group_search_arena_bytes", scratch->peak_bytes());
+  return result;
 }
 
 double CandidateCost(const GroupCandidate& candidate, Bytes estimated_total,
@@ -590,8 +612,9 @@ class GroupSequenceSearcher {
       return it->second;
     }
     bool truncated = false;
-    std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
-        MergedGroup(g), db_, config_, display_, lo, hi, &truncated, &query_cache_);
+    std::vector<GroupCandidate> cands =
+        EnumerateGroupCandidates(MergedGroup(g), db_, config_, display_, lo, hi,
+                                 &truncated, &query_cache_, &enum_arena_);
     // Only the one-object-deficit explanations make sense for a merge (two
     // requests, one real object); drop the rest to keep the beam clean.
     std::erase_if(cands, [](const GroupCandidate& c) {
@@ -613,7 +636,7 @@ class GroupSequenceSearcher {
     bool truncated = false;
     std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
         groups_[static_cast<size_t>(g)], db_, config_, display_, lo, hi, &truncated,
-        &query_cache_);
+        &query_cache_, &enum_arena_);
     truncated_ = truncated_ || truncated;
     return cand_cache_.emplace(key, std::move(cands)).first->second;
   }
@@ -725,8 +748,10 @@ class GroupSequenceSearcher {
   int positions_ = 0;
   std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> cand_cache_;
   std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> merged_cand_cache_;
-  // Thread-confined: one searcher runs one trace, on one thread.
+  // Thread-confined: one searcher runs one trace, on one thread. The arena
+  // backs each enumeration's scratch and is reset at every call.
   CandidateQueryCache query_cache_;
+  MonotonicArena enum_arena_;
   std::map<std::tuple<int, int, int>, bool> can_memo_;
   std::vector<std::vector<SlotAssignment>> sequences_;
   bool truncated_ = false;

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/thread_pool.h"
 #include "src/csi/chunk_database.h"
 #include "src/csi/path_search.h"
@@ -91,14 +92,18 @@ struct GroupSearchConfig {
 // single-chunk runs from the flat size index, then longer runs by start
 // index), so the output is deterministic and independent of config.pool.
 // `cache` optionally memoizes flat-index queries across calls; it must not
-// be shared across threads.
+// be shared across threads. `arena` optionally backs the enumeration's
+// scratch allocations (splits, prefix-sum bounds, the pre-rank candidate
+// accumulator); it is reset at every call, so it must be exclusive to this
+// function — the per-searcher pattern. Null falls back to a call-local arena.
 std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                                                      const ChunkDatabase& db,
                                                      const GroupSearchConfig& config,
                                                      const DisplayConstraints& display,
                                                      int start_lo, int start_hi,
                                                      bool* truncated,
-                                                     CandidateQueryCache* cache = nullptr);
+                                                     CandidateQueryCache* cache = nullptr,
+                                                     MonotonicArena* arena = nullptr);
 
 // Ranking cost: relative deviation of the observed estimate from the
 // candidate's predicted estimate under the calibrated overhead model.

@@ -31,7 +31,9 @@ bool HasSeparateAudio(DesignType type) {
 }
 
 InferenceEngine::InferenceEngine(const media::Manifest* manifest, InferenceConfig config)
-    : manifest_(manifest), config_(std::move(config)), db_(manifest) {
+    : manifest_(manifest),
+      config_(std::move(config)),
+      db_(manifest, DbBuildOptions{config_.db_build_pool, config_.db_build_shards}) {
   if (config_.host_suffix.empty()) {
     config_.host_suffix = manifest->host;
   }

@@ -47,6 +47,11 @@ struct InferenceConfig {
   // GroupSearchConfig::pool). Results are identical with or without it.
   // Caller keeps the pool alive for the engine's lifetime.
   ThreadPool* search_pool = nullptr;
+  // Optional pool + shard count for the ChunkDatabase build (see
+  // DbBuildOptions). The pool is used only during engine construction; the
+  // index is byte-identical for every pool/shard combination.
+  ThreadPool* db_build_pool = nullptr;
+  int db_build_shards = 0;
 };
 
 class InferenceEngine {

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "src/common/telemetry.h"
 #include "src/csi/batch_analyzer.h"
 #include "src/csi/splitter.h"
 #include "src/testbed/experiment.h"
@@ -84,6 +87,75 @@ TEST(BatchAnalyzer, MatchesSingleTraceEngineByIndex) {
   for (size_t i = 0; i < traces.size(); ++i) {
     EXPECT_EQ(results[i], reference.Analyze(traces[i])) << "trace " << i;
   }
+}
+
+// Fault isolation: one trace whose analysis throws must not take the batch
+// down or perturb any sibling result.
+TEST(BatchAnalyzer, ThrowingTraceDoesNotPoisonSiblings) {
+  const TimeUs duration = 90 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kCH, 3, duration);
+  const auto traces = TracesOf(MakeSessions(manifest, DesignType::kCH, 5, duration));
+  const size_t poison = 2;
+
+  infer::InferenceConfig config;
+  config.design = DesignType::kCH;
+  const infer::InferenceEngine reference(&manifest, config);
+
+  infer::BatchConfig batch;
+  batch.threads = 4;
+  batch.analyze_override = [&](const capture::CaptureTrace& trace) {
+    if (&trace == &traces[poison]) {
+      throw std::runtime_error("injected analyze failure");
+    }
+    return reference.Analyze(trace);
+  };
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+
+  auto* failures = telemetry::MetricsRegistry::Global().GetCounter(
+      "csi_batch_trace_analyze_failures_total");
+  const uint64_t failures_before = failures->Value();
+
+  std::vector<double> seconds;
+  std::vector<std::string> errors;
+  const auto results = analyzer.AnalyzeAll(traces, &seconds, &errors);
+
+  ASSERT_EQ(results.size(), traces.size());
+  ASSERT_EQ(errors.size(), traces.size());
+  ASSERT_EQ(seconds.size(), traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i == poison) {
+      EXPECT_EQ(results[i], infer::InferenceResult{}) << "failed slot must stay default";
+      EXPECT_EQ(errors[i], "injected analyze failure");
+    } else {
+      EXPECT_EQ(results[i], reference.Analyze(traces[i])) << "trace " << i;
+      EXPECT_TRUE(errors[i].empty()) << "trace " << i << ": " << errors[i];
+    }
+  }
+  EXPECT_EQ(failures->Value(), failures_before + 1);
+}
+
+TEST(BatchAnalyzer, NonStdExceptionIsReportedAsUnknown) {
+  const TimeUs duration = 60 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kCH, 1, duration);
+  const auto traces = TracesOf(MakeSessions(manifest, DesignType::kCH, 2, duration));
+
+  infer::InferenceConfig config;
+  config.design = DesignType::kCH;
+  infer::BatchConfig batch;
+  batch.threads = 2;
+  batch.analyze_override = [&](const capture::CaptureTrace& trace) -> infer::InferenceResult {
+    if (&trace == &traces[0]) {
+      throw 42;  // not derived from std::exception
+    }
+    return {};
+  };
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+  std::vector<std::string> errors;
+  const auto results = analyzer.AnalyzeAll(traces, nullptr, &errors);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0], "unknown error");
+  EXPECT_TRUE(errors[1].empty());
 }
 
 TEST(BatchAnalyzer, EmptyBatchYieldsEmptyResults) {

@@ -40,8 +40,13 @@ namespace {
   }
   std::fprintf(stderr,
                "usage: csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)\n"
-               "                 [--threads N] [--repeat R] [--host SUFFIX] [--quiet]\n"
-               "                 [--metrics-out FILE] [--metrics-format json|prom]\n");
+               "                 [--threads N] [--db-build-threads N] [--repeat R]\n"
+               "                 [--host SUFFIX] [--quiet]\n"
+               "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
+               "\n"
+               "  --db-build-threads N   shard the chunk-database build into N jobs fanned\n"
+               "                         over the worker pool (0 = one shard per worker;\n"
+               "                         1 = serial build; the index is identical either way)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
   std::string metrics_format = "json";
   std::vector<std::string> pcap_paths;
   int threads = 0;
+  int db_build_threads = 0;
   int repeat = 1;
   bool quiet = false;
 
@@ -115,6 +121,8 @@ int main(int argc, char** argv) {
       dir = next();
     } else if (arg == "--threads") {
       threads = std::stoi(next());
+    } else if (arg == "--db-build-threads") {
+      db_build_threads = std::stoi(next());
     } else if (arg == "--repeat") {
       repeat = std::stoi(next());
     } else if (arg == "--host") {
@@ -193,6 +201,7 @@ int main(int argc, char** argv) {
   }
   infer::BatchConfig batch;
   batch.threads = threads;
+  batch.db_build_shards = db_build_threads;
   if (!quiet) {
     batch.progress = [](size_t done, size_t total_traces) {
       std::fprintf(stderr, "  ...%zu/%zu traces\n", done, total_traces);
@@ -202,9 +211,10 @@ int main(int argc, char** argv) {
 
   std::vector<infer::InferenceResult> results;
   std::vector<double> trace_seconds;
+  std::vector<std::string> trace_errors;
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < repeat; ++r) {
-    results = analyzer.AnalyzeAll(traces, &trace_seconds);
+    results = analyzer.AnalyzeAll(traces, &trace_seconds, &trace_errors);
   }
   const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
 
@@ -233,12 +243,29 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     metrics_ok = WriteMetrics(metrics_out, metrics_format);
   }
+  // Analyze failures mirror load failures: every bad trace is reported by
+  // name, the good results above still stand, and the exit status is the
+  // only thing that turns red.
+  size_t analyze_failures = 0;
+  for (size_t i = 0; i < trace_errors.size(); ++i) {
+    if (trace_errors[i].empty()) {
+      continue;
+    }
+    if (analyze_failures == 0) {
+      std::fprintf(stderr, "error: analysis failed for some trace(s):\n");
+    }
+    ++analyze_failures;
+    std::fprintf(stderr, "  %s: %s\n", loaded_paths[i].c_str(), trace_errors[i].c_str());
+  }
   if (!failures.empty()) {
     std::fprintf(stderr, "error: %zu of %zu pcap(s) failed to load:\n", failures.size(),
                  pcap_paths.size());
     for (const auto& [path, what] : failures) {
       std::fprintf(stderr, "  %s: %s\n", path.c_str(), what.c_str());
     }
+    return 1;
+  }
+  if (analyze_failures > 0) {
     return 1;
   }
   return metrics_ok ? 0 : 1;
