@@ -23,25 +23,41 @@ int ResolveThreads(int requested) {
 
 }  // namespace
 
+InferenceEngine BatchAnalyzer::MakeEngine(const media::Manifest* manifest,
+                                          InferenceConfig config, const BatchConfig& batch,
+                                          ThreadPool* pool) {
+  if (batch.parallel_group_search) {
+    config.search_pool = pool;
+  }
+  // The shared database builds once, before any trace runs, so the batch
+  // pool is idle and free to take the shard jobs.
+  if (config.db_build_pool == nullptr) {
+    config.db_build_pool = pool;
+  }
+  if (config.db_build_shards == 0) {
+    config.db_build_shards = batch.db_build_shards;
+  }
+  return InferenceEngine(manifest, std::move(config));
+}
+
+InferenceEngine BatchAnalyzer::MakeEngine(DbSnapshot snapshot, InferenceConfig config,
+                                          const BatchConfig& batch, ThreadPool* pool) {
+  if (batch.parallel_group_search) {
+    config.search_pool = pool;
+  }
+  return InferenceEngine(std::move(snapshot), std::move(config));
+}
+
 BatchAnalyzer::BatchAnalyzer(const media::Manifest* manifest, InferenceConfig config,
                              BatchConfig batch)
-    : batch_(batch),
-      pool_(ResolveThreads(batch.threads)),
-      engine_(manifest,
-              [&]() {
-                if (batch.parallel_group_search) {
-                  config.search_pool = &pool_;
-                }
-                // The shared database builds once, before any trace runs, so
-                // the batch pool is idle and free to take the shard jobs.
-                if (config.db_build_pool == nullptr) {
-                  config.db_build_pool = &pool_;
-                }
-                if (config.db_build_shards == 0) {
-                  config.db_build_shards = batch.db_build_shards;
-                }
-                return std::move(config);
-              }()) {}
+    : batch_(std::move(batch)),
+      pool_(ResolveThreads(batch_.threads)),
+      engine_(MakeEngine(manifest, std::move(config), batch_, &pool_)) {}
+
+BatchAnalyzer::BatchAnalyzer(DbSnapshot snapshot, InferenceConfig config, BatchConfig batch)
+    : batch_(std::move(batch)),
+      pool_(ResolveThreads(batch_.threads)),
+      engine_(MakeEngine(std::move(snapshot), std::move(config), batch_, &pool_)) {}
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
     const std::vector<const capture::CaptureTrace*>& traces,

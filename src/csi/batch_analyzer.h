@@ -50,8 +50,20 @@ struct BatchConfig {
 class BatchAnalyzer {
  public:
   // `manifest` must outlive the analyzer (same contract as InferenceEngine).
+  // Builds the shared database on the batch pool.
   BatchAnalyzer(const media::Manifest* manifest, InferenceConfig config,
                 BatchConfig batch = {});
+
+  // Primary constructor: analyzes against an already-built snapshot (e.g.
+  // LiveChunkDatabase::Acquire()). The snapshot pins its database version for
+  // every trace of a batch; swap versions between batches with
+  // UpdateSnapshot.
+  BatchAnalyzer(DbSnapshot snapshot, InferenceConfig config, BatchConfig batch = {});
+
+  // Re-points the shared engine at a newer database version. Must not be
+  // called while AnalyzeAll is running (single-writer, quiesced contract —
+  // same as InferenceEngine::UpdateSnapshot).
+  void UpdateSnapshot(DbSnapshot snapshot) { engine_.UpdateSnapshot(std::move(snapshot)); }
 
   // Analyzes traces[i] into result[i]. Blocks until the whole batch is done.
   // If `trace_seconds` is non-null it is resized to the batch size and
@@ -75,6 +87,14 @@ class BatchAnalyzer {
   int threads() const { return pool_.num_workers(); }
 
  private:
+  // Both constructors funnel through these: they patch `config` with the
+  // batch pool and return the engine by value (guaranteed elision), which
+  // keeps the member-init list free of evaluation-order traps.
+  static InferenceEngine MakeEngine(const media::Manifest* manifest, InferenceConfig config,
+                                    const BatchConfig& batch, ThreadPool* pool);
+  static InferenceEngine MakeEngine(DbSnapshot snapshot, InferenceConfig config,
+                                    const BatchConfig& batch, ThreadPool* pool);
+
   BatchConfig batch_;
   ThreadPool pool_;
   InferenceEngine engine_;

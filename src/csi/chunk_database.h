@@ -23,8 +23,7 @@
 #define CSI_SRC_CSI_CHUNK_DATABASE_H_
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/units.h"
@@ -94,8 +93,9 @@ class ChunkDatabase {
   // Shard count the index was built with.
   int build_shards() const { return build_shards_; }
 
- private:
-  // Packs (track, index) into one word of the flat index.
+  // Packs (track, index) into one word of the flat index. Shared with
+  // DbSnapshot's delta buffer so merged windows order identically. Limits:
+  // track < 4096, index < 2^20.
   static uint32_t PackRef(int track, int index) {
     return (static_cast<uint32_t>(track) << 20) | static_cast<uint32_t>(index);
   }
@@ -103,10 +103,13 @@ class ChunkDatabase {
   static int IndexOfPacked(uint32_t packed) {
     return static_cast<int>(packed & ((1u << 20) - 1));
   }
+  static constexpr int kMaxPositions = 1 << 20;
 
   // [first, last) half-open range of flat-index slots with size in [lo, hi].
+  // Public so DbSnapshot can merge the base window with its delta buffer.
   std::pair<size_t, size_t> FlatRange(Bytes lo, Bytes hi) const;
 
+ private:
   const media::Manifest* manifest_;
   int num_tracks_ = 0;
   int num_positions_ = 0;
@@ -123,73 +126,9 @@ class ChunkDatabase {
   std::vector<Bytes> max_at_;
 };
 
-// Memo cache for repeated size-range queries against one ChunkDatabase.
-//
-// Real traces repeat sizes heavily (CBR audio chunks, re-downloaded and
-// co-sized video chunks), so candidate queries for the same (estimate, k) —
-// equivalently the same admissible byte window — recur many times within one
-// analysis. The cache is deliberately *per analysis call*, not per database:
-// it is single-threaded by construction, which keeps the shared ChunkDatabase
-// free of mutable state and race-free under batch inference.
-//
-// Bounded: each memo holds at most `max_entries_per_memo` windows; inserting
-// past the cap evicts the oldest entry (FIFO), so an arbitrarily long session
-// cannot grow the cache without limit. A returned reference is therefore only
-// valid until the next call on the same cache.
-class CandidateQueryCache {
- public:
-  static constexpr size_t kDefaultMaxEntriesPerMemo = 4096;
-
-  explicit CandidateQueryCache(const ChunkDatabase* db,
-                               size_t max_entries_per_memo = kDefaultMaxEntriesPerMemo)
-      : db_(db),
-        max_entries_per_memo_(max_entries_per_memo == 0 ? 1 : max_entries_per_memo) {}
-
-  // Cached ChunkDatabase::VideoCandidates(estimated, k).
-  const std::vector<media::ChunkRef>& VideoCandidates(Bytes estimated, double k);
-  // Cached ChunkDatabase::VideoCandidatesInSizeRange(lo, hi).
-  const std::vector<media::ChunkRef>& VideoCandidatesInSizeRange(Bytes lo, Bytes hi);
-
-  const ChunkDatabase& db() const { return *db_; }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t evictions() const { return evictions_; }
-  // Total entries currently held across both memos.
-  size_t size() const {
-    return track_ordered_memo_.map.size() + flat_ordered_memo_.map.size();
-  }
-  size_t max_entries_per_memo() const { return max_entries_per_memo_; }
-
- private:
-  using Window = std::pair<Bytes, Bytes>;
-
-  struct WindowHash {
-    size_t operator()(const Window& w) const {
-      return std::hash<Bytes>()(w.first) ^ (std::hash<Bytes>()(w.second) * 0x9E3779B97F4A7C15ull);
-    }
-  };
-
-  // One memo plus its FIFO eviction order.
-  struct Memo {
-    std::unordered_map<Window, std::vector<media::ChunkRef>, WindowHash> map;
-    std::deque<Window> order;
-  };
-
-  template <typename Fetch>
-  const std::vector<media::ChunkRef>& Lookup(Memo* memo, const Window& window,
-                                             const Fetch& fetch);
-
-  const ChunkDatabase* db_;
-  size_t max_entries_per_memo_;
-  // Keyed on the admissible byte window [lo, hi]; a (estimate, k) query maps
-  // to ([AdmissibleLow(estimate, k), estimate]). Two memos because the two
-  // entry points guarantee different orderings.
-  Memo track_ordered_memo_;
-  Memo flat_ordered_memo_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t evictions_ = 0;
-};
+// CandidateQueryCache moved to src/csi/db_snapshot.h: it is now bound to a
+// DbSnapshot and keyed by snapshot state so memoized windows can never serve
+// candidates from a stale database version.
 
 }  // namespace csi::infer
 

@@ -1,0 +1,255 @@
+// Snapshot-versioned view of the chunk database.
+//
+// A DbSnapshot is the handle every searcher queries: an immutable, epoch-
+// tagged view of the fingerprint dictionary, pinned by shared_ptr so a reader
+// that acquired it keeps exactly that version until it finishes — publishes
+// and compactions happening concurrently (see live_database.h) never block or
+// mutate it (RCU-style readers).
+//
+// A snapshot is a *base* ChunkDatabase (the flat SIMD-scanned size index)
+// plus a small sorted delta buffer of (size, packed ref) entries appended by
+// live-manifest refreshes after the base was built. Queries binary-narrow the
+// base index as before and merge the delta window in (size, ref) order, so
+// the candidate lists are byte-identical to a full rebuild at the same
+// refresh point — the determinism contract locked in by
+// tests/live_database_test.cc.
+//
+// Deprecated adapter: DbSnapshot is implicitly constructible from
+// `const ChunkDatabase&` (non-owning, epoch 0, empty delta), so code written
+// against the old `const ChunkDatabase&` API keeps compiling while call sites
+// migrate.
+
+#ifndef CSI_SRC_CSI_DB_SNAPSHOT_H_
+#define CSI_SRC_CSI_DB_SNAPSHOT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/csi/chunk_database.h"
+#include "src/media/manifest.h"
+
+namespace csi::infer {
+
+namespace internal {
+
+// One flat-index slot appended after the snapshot's base was built. Ordered
+// by (size, packed) — the same strict total order as the base index, so a
+// merge of base window and delta window reproduces the full-build order.
+struct DeltaEntry {
+  Bytes size = 0;
+  uint32_t packed = 0;
+
+  friend bool operator<(const DeltaEntry& a, const DeltaEntry& b) {
+    if (a.size != b.size) {
+      return a.size < b.size;
+    }
+    return a.packed < b.packed;
+  }
+};
+
+// The immutable state one snapshot pins. Built once by LiveChunkDatabase (or
+// the adapters below) and never mutated afterwards; concurrent readers share
+// it freely.
+struct SnapshotRep {
+  // Manifest version this snapshot describes. Null only for the deprecated
+  // non-owning adapter, where base->manifest() is the caller's manifest.
+  std::shared_ptr<const media::Manifest> manifest_version;
+  // Manifest version `base` was built from (kept alive because the base holds
+  // a raw pointer into it). May lag manifest_version by the delta appends.
+  std::shared_ptr<const media::Manifest> base_manifest;
+  std::shared_ptr<const ChunkDatabase> owned_base;
+  // Always valid; == owned_base.get() unless the rep is a non-owning view.
+  const ChunkDatabase* base = nullptr;
+  // Entries appended after `base` was built, sorted by (size, packed). All
+  // packed refs name positions >= base->num_positions(), so base and delta
+  // are disjoint.
+  std::vector<DeltaEntry> delta;
+  // Per appended position p (absolute index base->num_positions() + r):
+  // min/max video chunk size across tracks.
+  std::vector<Bytes> delta_min_at;
+  std::vector<Bytes> delta_max_at;
+  // Position-major sizes of appended chunks:
+  // delta_size_of[r * num_tracks + t] is the size of chunk (t, base_pos + r).
+  std::vector<Bytes> delta_size_of;
+  // Constant per-track audio chunk sizes at this version (audio is CBR).
+  std::vector<Bytes> audio_sizes;
+  int num_positions = 0;
+  uint64_t epoch = 0;
+};
+
+}  // namespace internal
+
+// Value-semantic handle over one immutable database version. Cheap to copy
+// (one shared_ptr); safe to share across threads once constructed. All query
+// methods mirror ChunkDatabase and require a non-empty handle.
+class DbSnapshot {
+ public:
+  DbSnapshot() = default;  // empty handle; valid() is false
+
+  // Deprecated adapter: non-owning view of a caller-kept database, epoch 0,
+  // no delta. Implicit on purpose so `const ChunkDatabase&` call sites keep
+  // compiling during the migration. The database must outlive the snapshot.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  DbSnapshot(const ChunkDatabase& db);
+
+  // Owning snapshot of a full database (no delta). The snapshot keeps the
+  // database alive; `epoch` tags it for cache keying.
+  explicit DbSnapshot(std::shared_ptr<const ChunkDatabase> db, uint64_t epoch = 0);
+
+  // Internal: wraps a prebuilt rep (LiveChunkDatabase publishes these).
+  explicit DbSnapshot(std::shared_ptr<const internal::SnapshotRep> rep)
+      : rep_(std::move(rep)) {}
+
+  bool valid() const { return rep_ != nullptr; }
+  uint64_t epoch() const { return rep_->epoch; }
+  // Number of chunks in the delta buffer (0 for full-build snapshots).
+  size_t delta_chunks() const { return rep_->delta.size(); }
+  // True when both handles pin the exact same published state.
+  bool SameStateAs(const DbSnapshot& other) const { return rep_ == other.rep_; }
+
+  // The compacted base index. Deprecated escape hatch for code that still
+  // wants a raw ChunkDatabase; it does NOT see the delta buffer.
+  const ChunkDatabase& base() const { return *rep_->base; }
+  // Manifest version this snapshot describes.
+  const media::Manifest* manifest() const {
+    return rep_->manifest_version != nullptr ? rep_->manifest_version.get()
+                                             : rep_->base->manifest();
+  }
+
+  // --- Query API (mirrors ChunkDatabase; results are byte-identical to a
+  // --- full build at this snapshot's refresh point) -----------------------
+  std::vector<media::ChunkRef> VideoCandidates(Bytes estimated, double k) const;
+  std::vector<media::ChunkRef> VideoCandidatesInSizeRange(Bytes lo, Bytes hi) const;
+  bool HasVideoCandidate(Bytes estimated, double k) const;
+  bool AudioPossible(Bytes estimated, double k) const;
+  int MatchingAudioTrack(Bytes estimated, double k) const;
+  const std::vector<Bytes>& audio_sizes() const { return rep_->audio_sizes; }
+
+  Bytes VideoSize(int track, int index) const {
+    const internal::SnapshotRep& rep = *rep_;
+    const int base_positions = rep.base->num_positions();
+    if (index < base_positions) {
+      return rep.base->VideoSize(track, index);
+    }
+    return rep.delta_size_of[static_cast<size_t>(index - base_positions) *
+                                 static_cast<size_t>(rep.base->num_video_tracks()) +
+                             static_cast<size_t>(track)];
+  }
+  int num_video_tracks() const { return rep_->base->num_video_tracks(); }
+  int num_positions() const { return rep_->num_positions; }
+  Bytes MinSizeAt(int index) const {
+    const internal::SnapshotRep& rep = *rep_;
+    const int base_positions = rep.base->num_positions();
+    return index < base_positions
+               ? rep.base->MinSizeAt(index)
+               : rep.delta_min_at[static_cast<size_t>(index - base_positions)];
+  }
+  Bytes MaxSizeAt(int index) const {
+    const internal::SnapshotRep& rep = *rep_;
+    const int base_positions = rep.base->num_positions();
+    return index < base_positions
+               ? rep.base->MaxSizeAt(index)
+               : rep.delta_max_at[static_cast<size_t>(index - base_positions)];
+  }
+
+ private:
+  // [first, last) window of the delta buffer with size in [lo, hi].
+  std::pair<size_t, size_t> DeltaRange(Bytes lo, Bytes hi) const;
+
+  std::shared_ptr<const internal::SnapshotRep> rep_;
+};
+
+// Memo cache for repeated size-range queries against one DbSnapshot.
+//
+// Real traces repeat sizes heavily (CBR audio chunks, re-downloaded and
+// co-sized video chunks), so candidate queries for the same (estimate, k) —
+// equivalently the same admissible byte window — recur many times within one
+// analysis. The cache is deliberately *per analysis call*, not per database:
+// it is single-threaded by construction, which keeps the shared snapshot free
+// of mutable state and race-free under batch inference.
+//
+// Epoch keying: every entry belongs to the snapshot the cache is bound to.
+// Rebind() re-points the cache at a newer snapshot and drops all entries
+// unless the new handle pins the exact same published state — a memoized
+// window can therefore never serve candidates from a stale database.
+//
+// Bounded: each memo holds at most `max_entries_per_memo` windows; inserting
+// past the cap evicts the oldest entry (FIFO), so an arbitrarily long session
+// cannot grow the cache without limit. A returned reference is therefore only
+// valid until the next call on the same cache.
+class CandidateQueryCache {
+ public:
+  static constexpr size_t kDefaultMaxEntriesPerMemo = 4096;
+
+  explicit CandidateQueryCache(DbSnapshot snapshot,
+                               size_t max_entries_per_memo = kDefaultMaxEntriesPerMemo)
+      : snapshot_(std::move(snapshot)),
+        max_entries_per_memo_(max_entries_per_memo == 0 ? 1 : max_entries_per_memo) {}
+
+  // Deprecated adapter: binds to a non-owning epoch-0 view of `db`.
+  explicit CandidateQueryCache(const ChunkDatabase* db,
+                               size_t max_entries_per_memo = kDefaultMaxEntriesPerMemo)
+      : CandidateQueryCache(DbSnapshot(*db), max_entries_per_memo) {}
+
+  // Re-points the cache at `snapshot`. Entries survive only when the new
+  // handle pins the same published state (SameStateAs); otherwise both memos
+  // are cleared so no stale window can be served.
+  void Rebind(DbSnapshot snapshot);
+
+  // Cached DbSnapshot::VideoCandidates(estimated, k).
+  const std::vector<media::ChunkRef>& VideoCandidates(Bytes estimated, double k);
+  // Cached DbSnapshot::VideoCandidatesInSizeRange(lo, hi).
+  const std::vector<media::ChunkRef>& VideoCandidatesInSizeRange(Bytes lo, Bytes hi);
+
+  const DbSnapshot& snapshot() const { return snapshot_; }
+  uint64_t epoch() const { return snapshot_.epoch(); }
+  // Deprecated: the bound snapshot's base database.
+  const ChunkDatabase& db() const { return snapshot_.base(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t evictions() const { return evictions_; }
+  // Total entries currently held across both memos.
+  size_t size() const {
+    return track_ordered_memo_.map.size() + flat_ordered_memo_.map.size();
+  }
+  size_t max_entries_per_memo() const { return max_entries_per_memo_; }
+
+ private:
+  using Window = std::pair<Bytes, Bytes>;
+
+  struct WindowHash {
+    size_t operator()(const Window& w) const {
+      return std::hash<Bytes>()(w.first) ^ (std::hash<Bytes>()(w.second) * 0x9E3779B97F4A7C15ull);
+    }
+  };
+
+  // One memo plus its FIFO eviction order.
+  struct Memo {
+    std::unordered_map<Window, std::vector<media::ChunkRef>, WindowHash> map;
+    std::deque<Window> order;
+  };
+
+  template <typename Fetch>
+  const std::vector<media::ChunkRef>& Lookup(Memo* memo, const Window& window,
+                                             const Fetch& fetch);
+
+  DbSnapshot snapshot_;
+  size_t max_entries_per_memo_;
+  // Keyed on the admissible byte window [lo, hi]; a (estimate, k) query maps
+  // to ([AdmissibleLow(estimate, k), estimate]). Two memos because the two
+  // entry points guarantee different orderings.
+  Memo track_ordered_memo_;
+  Memo flat_ordered_memo_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_DB_SNAPSHOT_H_

@@ -20,7 +20,7 @@ struct SizeBounds {
   ArenaVector<Bytes> min_prefix;  // min_prefix[i] = sum of MinSizeAt(0..i-1)
   ArenaVector<Bytes> max_prefix;
 
-  SizeBounds(const ChunkDatabase& db, MonotonicArena* arena)
+  SizeBounds(const DbSnapshot& db, MonotonicArena* arena)
       : min_prefix(ArenaAllocator<Bytes>(arena)),
         max_prefix(ArenaAllocator<Bytes>(arena)) {
     const int p = db.num_positions();
@@ -58,7 +58,7 @@ struct ObjectSplit {
 // depend only on the group and config, never on the start range — computing
 // them once up front is what lets per-start work be partitioned freely.
 ArenaVector<ObjectSplit> EnumerateObjectSplits(const TrafficGroup& group,
-                                               const ChunkDatabase& db,
+                                               const DbSnapshot& db,
                                                const GroupSearchConfig& config,
                                                MonotonicArena* arena) {
   ArenaVector<ObjectSplit> splits{ArenaAllocator<ObjectSplit>(arena)};
@@ -109,7 +109,7 @@ ArenaVector<ObjectSplit> EnumerateObjectSplits(const TrafficGroup& group,
 // recursion: this is the innermost hot loop and a std::function-based
 // closure costs an indirect call per node.
 struct RunDfs {
-  const ChunkDatabase& db;
+  const DbSnapshot& db;
   const SizeBounds& bounds;
   const DisplayConstraints& display;
   const ObjectSplit& split;
@@ -173,7 +173,7 @@ struct RunDfs {
 }  // namespace
 
 std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
-                                                     const ChunkDatabase& db,
+                                                     const DbSnapshot& db,
                                                      const GroupSearchConfig& config,
                                                      const DisplayConstraints& display,
                                                      int start_lo, int start_hi,
@@ -395,14 +395,14 @@ namespace {
 
 class GroupSequenceSearcher {
  public:
-  GroupSequenceSearcher(const std::vector<TrafficGroup>& groups, const ChunkDatabase& db,
+  GroupSequenceSearcher(const std::vector<TrafficGroup>& groups, const DbSnapshot& db,
                         const GroupSearchConfig& config, const DisplayConstraints& display)
       : groups_(groups),
         db_(db),
         config_(config),
         display_(display),
         positions_(db.num_positions()),
-        query_cache_(&db) {}
+        query_cache_(db_) {}
 
   InferenceResult Run() {
     CSI_SPAN("sequence_chain");
@@ -742,7 +742,9 @@ class GroupSequenceSearcher {
   }
 
   const std::vector<TrafficGroup>& groups_;
-  const ChunkDatabase& db_;
+  // Held by value: the snapshot pins its database version for the whole
+  // search even if a live publish lands mid-run.
+  DbSnapshot db_;
   const GroupSearchConfig& config_;
   const DisplayConstraints& display_;
   int positions_ = 0;
@@ -760,7 +762,7 @@ class GroupSequenceSearcher {
 }  // namespace
 
 InferenceResult SearchGroupSequences(const std::vector<TrafficGroup>& groups,
-                                     const ChunkDatabase& db, const GroupSearchConfig& config,
+                                     const DbSnapshot& db, const GroupSearchConfig& config,
                                      const DisplayConstraints& display) {
   GroupSequenceSearcher searcher(groups, db, config, display);
   return searcher.Run();

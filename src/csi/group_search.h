@@ -25,7 +25,7 @@
 
 #include "src/common/arena.h"
 #include "src/common/thread_pool.h"
-#include "src/csi/chunk_database.h"
+#include "src/csi/db_snapshot.h"
 #include "src/csi/path_search.h"
 #include "src/csi/splitter.h"
 #include "src/csi/types.h"
@@ -97,7 +97,7 @@ struct GroupSearchConfig {
 // accumulator); it is reset at every call, so it must be exclusive to this
 // function — the per-searcher pattern. Null falls back to a call-local arena.
 std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
-                                                     const ChunkDatabase& db,
+                                                     const DbSnapshot& db,
                                                      const GroupSearchConfig& config,
                                                      const DisplayConstraints& display,
                                                      int start_lo, int start_hi,
@@ -110,9 +110,12 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
 double CandidateCost(const GroupCandidate& candidate, Bytes estimated_total,
                      int group_requests, const GroupSearchConfig& config);
 
-// Full SQ inference over the split groups.
+// Full SQ inference over the split groups. `db` is an immutable snapshot (a
+// bare `ChunkDatabase` converts implicitly via the deprecated adapter); the
+// search holds it for the whole call, so concurrent live-database publishes
+// never affect an in-flight search.
 InferenceResult SearchGroupSequences(const std::vector<TrafficGroup>& groups,
-                                     const ChunkDatabase& db, const GroupSearchConfig& config,
+                                     const DbSnapshot& db, const GroupSearchConfig& config,
                                      const DisplayConstraints& display = {});
 
 }  // namespace csi::infer

@@ -30,23 +30,40 @@ bool HasSeparateAudio(DesignType type) {
   return type == DesignType::kSH || type == DesignType::kSQ;
 }
 
+InferenceEngine::InferenceEngine(DbSnapshot snapshot, InferenceConfig config)
+    : manifest_(snapshot.manifest()),
+      config_(std::move(config)),
+      snapshot_(std::move(snapshot)) {
+  FinishConfig();
+}
+
 InferenceEngine::InferenceEngine(const media::Manifest* manifest, InferenceConfig config)
     : manifest_(manifest),
       config_(std::move(config)),
-      db_(manifest, DbBuildOptions{config_.db_build_pool, config_.db_build_shards}) {
+      snapshot_(std::make_shared<const ChunkDatabase>(
+          manifest, DbBuildOptions{config_.db_build_pool, config_.db_build_shards})) {
+  FinishConfig();
+}
+
+void InferenceEngine::FinishConfig() {
   if (config_.host_suffix.empty()) {
-    config_.host_suffix = manifest->host;
+    config_.host_suffix = manifest_->host;
   }
   if (config_.other_object_sizes.empty()) {
     // The manifest is fetched once per session; its on-the-wire estimate
     // includes the response headers.
-    config_.other_object_sizes.push_back(manifest->SerializedSize() +
+    config_.other_object_sizes.push_back(manifest_->SerializedSize() +
                                          config_.expected_fixed_overhead);
   }
 }
 
+void InferenceEngine::UpdateSnapshot(DbSnapshot snapshot) {
+  manifest_ = snapshot.manifest();
+  snapshot_ = std::move(snapshot);
+}
+
 bool InferenceEngine::MatchesSomething(Bytes estimate, double k) const {
-  if (db_.HasVideoCandidate(estimate, k) || db_.AudioPossible(estimate, k)) {
+  if (snapshot_.HasVideoCandidate(estimate, k) || snapshot_.AudioPossible(estimate, k)) {
     return true;
   }
   for (Bytes other : config_.other_object_sizes) {
@@ -168,7 +185,7 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
     }
   }
   CSI_SPAN("group_search");
-  return SearchGroupSequences(groups, db_, group, display);
+  return SearchGroupSequences(groups, snapshot_, group, display);
 }
 
 }  // namespace csi::infer

@@ -13,6 +13,7 @@
 
 #include "src/capture/packet_record.h"
 #include "src/csi/chunk_database.h"
+#include "src/csi/db_snapshot.h"
 #include "src/csi/group_search.h"
 #include "src/csi/path_search.h"
 #include "src/csi/splitter.h"
@@ -56,8 +57,15 @@ struct InferenceConfig {
 
 class InferenceEngine {
  public:
-  // `manifest` is the chunk-size database collected ahead of the test (§4.1);
-  // caller keeps it alive.
+  // Primary constructor: the engine queries `snapshot` — an immutable,
+  // epoch-tagged database version (see db_snapshot.h / live_database.h). The
+  // snapshot's manifest fills config defaults (host suffix, manifest object
+  // size).
+  InferenceEngine(DbSnapshot snapshot, InferenceConfig config);
+
+  // Deprecated adapter: builds a full database from `manifest` (caller keeps
+  // it alive) using config's db_build_pool/db_build_shards, then behaves like
+  // the snapshot constructor with that database at epoch 0.
   InferenceEngine(const media::Manifest* manifest, InferenceConfig config);
 
   // Runs the inference on a capture. `display` optionally carries
@@ -65,10 +73,21 @@ class InferenceEngine {
   InferenceResult Analyze(const capture::CaptureTrace& trace,
                           const DisplayConstraints& display = {}) const;
 
-  const ChunkDatabase& db() const { return db_; }
+  // Re-points the engine at a newer database version (e.g. after a
+  // LiveChunkDatabase publish). Config stays frozen — defaults derived from
+  // the construction-time manifest are not recomputed. NOT safe to call while
+  // an Analyze is in flight on another thread: callers that fan Analyze out
+  // (BatchAnalyzer) must quiesce first.
+  void UpdateSnapshot(DbSnapshot snapshot);
+
+  const DbSnapshot& snapshot() const { return snapshot_; }
+  // Deprecated: the snapshot's base database (does not see the delta buffer).
+  const ChunkDatabase& db() const { return snapshot_.base(); }
   const InferenceConfig& config() const { return config_; }
 
  private:
+  // Shared tail of both constructors: config defaults derived from manifest_.
+  void FinishConfig();
   // True if `estimate` satisfies Property (1) for some video chunk, audio
   // chunk, or known non-media object.
   bool MatchesSomething(Bytes estimate, double k) const;
@@ -77,7 +96,7 @@ class InferenceEngine {
 
   const media::Manifest* manifest_;
   InferenceConfig config_;
-  ChunkDatabase db_;
+  DbSnapshot snapshot_;
 };
 
 }  // namespace csi::infer

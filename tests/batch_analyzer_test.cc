@@ -10,6 +10,7 @@
 
 #include "src/common/telemetry.h"
 #include "src/csi/batch_analyzer.h"
+#include "src/csi/live_database.h"
 #include "src/csi/splitter.h"
 #include "src/testbed/experiment.h"
 
@@ -156,6 +157,43 @@ TEST(BatchAnalyzer, NonStdExceptionIsReportedAsUnknown) {
   ASSERT_EQ(errors.size(), 2u);
   EXPECT_EQ(errors[0], "unknown error");
   EXPECT_TRUE(errors[1].empty());
+}
+
+// The snapshot-based constructor is the new primary API: analyzing through a
+// LiveChunkDatabase snapshot must be bit-identical to the manifest-based
+// path, and UpdateSnapshot must keep the engine working across live
+// publishes.
+TEST(BatchAnalyzer, SnapshotConstructorMatchesManifestConstructor) {
+  const TimeUs duration = 60 * kUsPerSec;
+  const media::Manifest manifest = MakeAssetForDesign(DesignType::kSH, 1, duration);
+  const auto traces = TracesOf(MakeSessions(manifest, DesignType::kSH, 3, duration));
+
+  infer::InferenceConfig config;
+  config.design = DesignType::kSH;
+  infer::BatchConfig batch;
+  batch.threads = 4;
+
+  infer::BatchAnalyzer from_manifest(&manifest, config, batch);
+  const auto expected = from_manifest.AnalyzeAll(traces);
+
+  infer::LiveChunkDatabase live(manifest);
+  infer::BatchAnalyzer from_snapshot(live.Acquire(), config, batch);
+  EXPECT_EQ(from_snapshot.AnalyzeAll(traces), expected);
+
+  // Re-acquiring the same published state is a no-op rebind.
+  from_snapshot.UpdateSnapshot(live.Acquire());
+  EXPECT_EQ(from_snapshot.AnalyzeAll(traces), expected);
+
+  // A live refresh appending decoy chunks far outside every estimate window
+  // must not perturb the inference of the already-captured traces.
+  infer::ManifestRefresh refresh;
+  refresh.video_appends.resize(static_cast<size_t>(manifest.num_video_tracks()));
+  for (auto& track_appends : refresh.video_appends) {
+    track_appends.push_back(media::Chunk{500'000'000, 2'000'000});
+  }
+  live.ApplyRefresh(refresh);
+  from_snapshot.UpdateSnapshot(live.Acquire());
+  EXPECT_EQ(from_snapshot.AnalyzeAll(traces), expected);
 }
 
 TEST(BatchAnalyzer, EmptyBatchYieldsEmptyResults) {

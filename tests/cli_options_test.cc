@@ -1,0 +1,178 @@
+// Unit tests for the shared command-line option layer (tools/cli_options.h)
+// factored out of csi_analyze and csi_batch.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/cli_options.h"
+
+namespace csi::tools {
+namespace {
+
+// argv helper: prepends the program name and hands out the char* view gtest
+// can pass to Parse.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (const std::string& s : storage_) {
+      ptrs_.push_back(s.c_str());
+    }
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  const char* const* argv() const { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<const char*> ptrs_;
+};
+
+TEST(FlagParserTest, ParsesStringsIntsAndBools) {
+  std::string name;
+  int count = 0;
+  bool verbose = false;
+  FlagParser parser;
+  parser.AddString("--name", &name);
+  parser.AddInt("--count", &count);
+  parser.AddBool("--verbose", &verbose);
+
+  const Argv args({"--name", "widget", "--count", "-3", "--verbose"});
+  std::string error;
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), nullptr, &error)) << error;
+  EXPECT_EQ(name, "widget");
+  EXPECT_EQ(count, -3);
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(parser.help_requested());
+}
+
+TEST(FlagParserTest, CollectsPositionalArguments) {
+  std::string name;
+  FlagParser parser;
+  parser.AddString("--name", &name);
+  const Argv args({"a.pcap", "--name", "x", "b.pcap"});
+  std::vector<std::string> positional;
+  std::string error;
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), &positional, &error)) << error;
+  EXPECT_EQ(positional, (std::vector<std::string>{"a.pcap", "b.pcap"}));
+}
+
+TEST(FlagParserTest, RejectsPositionalWhenNoneExpected) {
+  FlagParser parser;
+  const Argv args({"stray"});
+  std::string error;
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv(), nullptr, &error));
+  EXPECT_NE(error.find("stray"), std::string::npos);
+}
+
+TEST(FlagParserTest, RejectsUnknownFlag) {
+  FlagParser parser;
+  const Argv args({"--nope"});
+  std::string error;
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv(), nullptr, &error));
+  EXPECT_NE(error.find("--nope"), std::string::npos);
+}
+
+TEST(FlagParserTest, RejectsMissingValue) {
+  std::string name;
+  FlagParser parser;
+  parser.AddString("--name", &name);
+  const Argv args({"--name"});
+  std::string error;
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv(), nullptr, &error));
+  EXPECT_NE(error.find("--name"), std::string::npos);
+}
+
+TEST(FlagParserTest, RejectsMalformedIntegers) {
+  int count = 0;
+  FlagParser parser;
+  parser.AddInt("--count", &count);
+  for (const char* bad : {"", "12x", "x12", "99999999999999999999", "1.5"}) {
+    const Argv args({"--count", bad});
+    std::string error;
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv(), nullptr, &error))
+        << "accepted: " << bad;
+  }
+}
+
+TEST(FlagParserTest, HelpShortCircuits) {
+  std::string name;
+  FlagParser parser;
+  parser.AddString("--name", &name);
+  for (const char* h : {"--help", "-h"}) {
+    const Argv args({h, "--name"});  // would otherwise be a missing-value error
+    std::string error;
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), nullptr, &error));
+    EXPECT_TRUE(parser.help_requested());
+  }
+}
+
+TEST(CommonOptionsTest, RegistersAndValidates) {
+  CommonOptions common;
+  FlagParser parser;
+  common.Register(&parser);
+  const Argv args({"--manifest", "m.txt", "--design", "SQ", "--host", "cdn.example",
+                   "--metrics-out", "metrics.prom", "--metrics-format", "prom",
+                   "--db-build-threads", "4"});
+  std::string error;
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), nullptr, &error)) << error;
+  ASSERT_TRUE(common.Validate(&error)) << error;
+  EXPECT_EQ(common.manifest_path, "m.txt");
+  EXPECT_EQ(common.host_suffix, "cdn.example");
+  EXPECT_EQ(common.metrics_format, "prom");
+  EXPECT_EQ(common.db_build_threads, 4);
+  EXPECT_EQ(common.design(), infer::DesignType::kSQ);
+}
+
+TEST(CommonOptionsTest, ValidateRejectsBadInputs) {
+  std::string error;
+  {
+    CommonOptions common;  // neither manifest nor design
+    EXPECT_FALSE(common.Validate(&error));
+  }
+  {
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "ZZ";
+    EXPECT_FALSE(common.Validate(&error));
+    EXPECT_NE(error.find("design"), std::string::npos);
+  }
+  {
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "CH";
+    common.metrics_format = "xml";
+    EXPECT_FALSE(common.Validate(&error));
+  }
+  {
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "CH";
+    common.db_build_threads = -1;
+    EXPECT_FALSE(common.Validate(&error));
+  }
+  {
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "CH";
+    EXPECT_TRUE(common.Validate(&error)) << error;
+  }
+}
+
+TEST(CommonOptionsTest, ParseDesignNameCoversAllDesigns) {
+  infer::DesignType design;
+  ASSERT_TRUE(ParseDesignName("CH", &design));
+  EXPECT_EQ(design, infer::DesignType::kCH);
+  ASSERT_TRUE(ParseDesignName("SH", &design));
+  EXPECT_EQ(design, infer::DesignType::kSH);
+  ASSERT_TRUE(ParseDesignName("CQ", &design));
+  EXPECT_EQ(design, infer::DesignType::kCQ);
+  ASSERT_TRUE(ParseDesignName("SQ", &design));
+  EXPECT_EQ(design, infer::DesignType::kSQ);
+  EXPECT_FALSE(ParseDesignName("ch", &design));
+  EXPECT_FALSE(ParseDesignName("", &design));
+}
+
+}  // namespace
+}  // namespace csi::tools

@@ -28,6 +28,7 @@
 #include "src/common/simd.h"
 #include "src/common/thread_pool.h"
 #include "src/csi/chunk_database.h"
+#include "src/csi/db_snapshot.h"
 #include "src/media/manifest.h"
 
 namespace csi::infer {

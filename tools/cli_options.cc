@@ -1,0 +1,183 @@
+#include "tools/cli_options.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/common/telemetry.h"
+
+namespace csi::tools {
+
+void FlagParser::AddString(const std::string& name, std::string* value) {
+  flags_[name] = Flag{Kind::kString, value};
+}
+
+void FlagParser::AddInt(const std::string& name, int* value) {
+  flags_[name] = Flag{Kind::kInt, value};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value) {
+  flags_[name] = Flag{Kind::kBool, value};
+}
+
+namespace {
+
+bool ParseIntValue(const std::string& text, int* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size() ||
+      value < std::numeric_limits<int>::min() || value > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+bool FlagParser::Parse(int argc, const char* const* argv,
+                       std::vector<std::string>* positional, std::string* error) {
+  help_requested_ = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return true;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      if (!arg.empty() && arg[0] == '-') {
+        if (error != nullptr) {
+          *error = "unknown argument: " + arg;
+        }
+        return false;
+      }
+      if (positional == nullptr) {
+        if (error != nullptr) {
+          *error = "unexpected argument: " + arg;
+        }
+        return false;
+      }
+      positional->push_back(arg);
+      continue;
+    }
+    Flag& flag = it->second;
+    if (flag.kind == Kind::kBool) {
+      *static_cast<bool*>(flag.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      if (error != nullptr) {
+        *error = "missing value for " + arg;
+      }
+      return false;
+    }
+    const std::string value = argv[++i];
+    if (flag.kind == Kind::kString) {
+      *static_cast<std::string*>(flag.target) = value;
+    } else {
+      if (!ParseIntValue(value, static_cast<int*>(flag.target))) {
+        if (error != nullptr) {
+          *error = "invalid integer for " + arg + ": " + value;
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CommonOptions::Register(FlagParser* parser) {
+  parser->AddString("--manifest", &manifest_path);
+  parser->AddString("--design", &design_name);
+  parser->AddString("--host", &host_suffix);
+  parser->AddString("--metrics-out", &metrics_out);
+  parser->AddString("--metrics-format", &metrics_format);
+  parser->AddInt("--db-build-threads", &db_build_threads);
+}
+
+bool CommonOptions::Validate(std::string* error) const {
+  if (manifest_path.empty() || design_name.empty()) {
+    if (error != nullptr) {
+      *error = "--manifest and --design are required";
+    }
+    return false;
+  }
+  infer::DesignType parsed;
+  if (!ParseDesignName(design_name, &parsed)) {
+    if (error != nullptr) {
+      *error = "unknown design type (expected CH, SH, CQ or SQ)";
+    }
+    return false;
+  }
+  if (metrics_format != "json" && metrics_format != "prom") {
+    if (error != nullptr) {
+      *error = "--metrics-format must be json or prom";
+    }
+    return false;
+  }
+  if (db_build_threads < 0) {
+    if (error != nullptr) {
+      *error = "--db-build-threads must be >= 0";
+    }
+    return false;
+  }
+  return true;
+}
+
+infer::DesignType CommonOptions::design() const {
+  infer::DesignType parsed = infer::DesignType::kCH;
+  ParseDesignName(design_name, &parsed);
+  return parsed;
+}
+
+bool ParseDesignName(const std::string& name, infer::DesignType* out) {
+  if (name == "CH") {
+    *out = infer::DesignType::kCH;
+  } else if (name == "SH") {
+    *out = infer::DesignType::kSH;
+  } else if (name == "CQ") {
+    *out = infer::DesignType::kCQ;
+  } else if (name == "SQ") {
+    *out = infer::DesignType::kSQ;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteMetricsSnapshot(const std::string& path, const std::string& format,
+                          std::string* error) {
+  const telemetry::MetricsSnapshot snapshot = telemetry::MetricsRegistry::Global().Snapshot();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot write metrics to " + path;
+    }
+    return false;
+  }
+  out << (format == "prom" ? snapshot.ToPrometheus() : snapshot.ToJson());
+  return true;
+}
+
+}  // namespace csi::tools

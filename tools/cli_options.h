@@ -1,0 +1,85 @@
+// Shared command-line plumbing for the csi_* tools.
+//
+// csi_analyze and csi_batch grew the same hand-rolled flag loops, design-name
+// parsing, file slurping, and metrics-snapshot writing; this header is the
+// one copy. FlagParser is deliberately tiny — string/int/bool flags, `--help`
+// detection, positional collection — not a general argv framework.
+
+#ifndef CSI_TOOLS_CLI_OPTIONS_H_
+#define CSI_TOOLS_CLI_OPTIONS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/csi/types.h"
+
+namespace csi::tools {
+
+// Registry-driven argv parser. Register targets, then Parse(argc, argv);
+// values land directly in the registered variables (untouched flags keep
+// their defaults).
+class FlagParser {
+ public:
+  // `--name VALUE`.
+  void AddString(const std::string& name, std::string* value);
+  // `--name N`, validated as a full base-10 int.
+  void AddInt(const std::string& name, int* value);
+  // Presence flag `--name` (no value); sets *value to true.
+  void AddBool(const std::string& name, bool* value);
+
+  // Parses argv[1..argc). Returns false and fills *error on an unknown flag,
+  // missing value, or malformed int. Non-flag arguments are appended to
+  // *positional when non-null and are an error otherwise. `--help`/`-h` stops
+  // parsing and sets help_requested().
+  bool Parse(int argc, const char* const* argv, std::vector<std::string>* positional,
+             std::string* error);
+
+  bool help_requested() const { return help_requested_; }
+
+ private:
+  enum class Kind { kString, kInt, kBool };
+  struct Flag {
+    Kind kind = Kind::kString;
+    void* target = nullptr;
+  };
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+// Flags every analysis tool shares. Register() wires them into a FlagParser;
+// Validate() checks the combination after parsing.
+struct CommonOptions {
+  std::string manifest_path;
+  std::string design_name;
+  std::string host_suffix;
+  std::string metrics_out;
+  std::string metrics_format = "json";
+  // Shard count for the chunk-database build (0 = one shard per worker).
+  int db_build_threads = 0;
+
+  // Registers --manifest, --design, --host, --metrics-out, --metrics-format,
+  // --db-build-threads.
+  void Register(FlagParser* parser);
+  // Returns false and fills *error when required flags are missing or values
+  // are out of range. Call after Parse().
+  bool Validate(std::string* error) const;
+  // The parsed --design value; only valid after Validate() passed.
+  infer::DesignType design() const;
+};
+
+// Parses CH|SH|CQ|SQ into *out; false on anything else.
+bool ParseDesignName(const std::string& name, infer::DesignType* out);
+
+// Slurps `path` into *out; false with *error on failure.
+bool ReadFileToString(const std::string& path, std::string* out, std::string* error);
+
+// Writes the global telemetry snapshot to `path` as json or prom ("prom"
+// selects the Prometheus exposition format); false with *error on failure.
+bool WriteMetricsSnapshot(const std::string& path, const std::string& format,
+                          std::string* error);
+
+}  // namespace csi::tools
+
+#endif  // CSI_TOOLS_CLI_OPTIONS_H_

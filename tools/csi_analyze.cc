@@ -3,6 +3,7 @@
 // Usage:
 //   csi_analyze --pcap session.pcap --manifest video.manifest --design SH
 //               [--host suffix] [--max-sequences N] [--report sequence|qoe|both]
+//               [--db-build-threads N]
 //               [--metrics-out FILE] [--metrics-format json|prom]
 //
 // Inputs are exactly what a real deployment has (paper §4): a tcpdump pcap of
@@ -10,16 +11,14 @@
 // Prints the inferred chunk sequence(s) and/or the derived QoE report.
 
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/capture/pcap_io.h"
 #include "src/common/table.h"
-#include "src/common/telemetry.h"
 #include "src/csi/inference.h"
 #include "src/csi/qoe.h"
+#include "tools/cli_options.h"
 
 using namespace csi;
 
@@ -32,91 +31,48 @@ namespace {
   std::fprintf(stderr,
                "usage: csi_analyze --pcap FILE --manifest FILE --design CH|SH|CQ|SQ\n"
                "                   [--host SUFFIX] [--max-sequences N]\n"
-               "                   [--report sequence|qoe|both]\n"
+               "                   [--report sequence|qoe|both] [--db-build-threads N]\n"
                "                   [--metrics-out FILE] [--metrics-format json|prom]\n");
   std::exit(error == nullptr ? 0 : 2);
-}
-
-std::string ReadFileOrDie(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-infer::DesignType ParseDesign(const std::string& name) {
-  if (name == "CH") {
-    return infer::DesignType::kCH;
-  }
-  if (name == "SH") {
-    return infer::DesignType::kSH;
-  }
-  if (name == "CQ") {
-    return infer::DesignType::kCQ;
-  }
-  if (name == "SQ") {
-    return infer::DesignType::kSQ;
-  }
-  Usage("unknown design type (expected CH, SH, CQ or SQ)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::CommonOptions common;
   std::string pcap_path;
-  std::string manifest_path;
-  std::string design_name;
-  std::string host_suffix;
   std::string report = "both";
-  std::string metrics_out;
-  std::string metrics_format = "json";
   int max_sequences = 512;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        Usage(("missing value for " + arg).c_str());
-      }
-      return argv[++i];
-    };
-    if (arg == "--pcap") {
-      pcap_path = next();
-    } else if (arg == "--manifest") {
-      manifest_path = next();
-    } else if (arg == "--design") {
-      design_name = next();
-    } else if (arg == "--host") {
-      host_suffix = next();
-    } else if (arg == "--max-sequences") {
-      max_sequences = std::stoi(next());
-    } else if (arg == "--report") {
-      report = next();
-    } else if (arg == "--metrics-out") {
-      metrics_out = next();
-    } else if (arg == "--metrics-format") {
-      metrics_format = next();
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(nullptr);
-    } else {
-      Usage(("unknown argument: " + arg).c_str());
-    }
+  tools::FlagParser parser;
+  common.Register(&parser);
+  parser.AddString("--pcap", &pcap_path);
+  parser.AddString("--report", &report);
+  parser.AddInt("--max-sequences", &max_sequences);
+
+  std::string error;
+  if (!parser.Parse(argc, argv, nullptr, &error)) {
+    Usage(error.c_str());
   }
-  if (pcap_path.empty() || manifest_path.empty() || design_name.empty()) {
+  if (parser.help_requested()) {
+    Usage(nullptr);
+  }
+  if (pcap_path.empty()) {
     Usage("--pcap, --manifest and --design are required");
+  }
+  if (!common.Validate(&error)) {
+    Usage(error.c_str());
   }
   if (report != "sequence" && report != "qoe" && report != "both") {
     Usage("--report must be sequence, qoe or both");
   }
-  if (metrics_format != "json" && metrics_format != "prom") {
-    Usage("--metrics-format must be json or prom");
-  }
 
-  const media::Manifest manifest = media::Manifest::Parse(ReadFileOrDie(manifest_path));
+  std::string manifest_text;
+  if (!tools::ReadFileToString(common.manifest_path, &manifest_text, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  const media::Manifest manifest = media::Manifest::Parse(manifest_text);
   const capture::CaptureTrace trace = capture::ReadPcap(pcap_path);
   std::printf("loaded %zu packets, manifest %s: %d video tracks x %d chunks%s\n",
               trace.size(), manifest.asset_id.c_str(), manifest.num_video_tracks(),
@@ -124,24 +80,20 @@ int main(int argc, char** argv) {
               manifest.has_separate_audio() ? " + audio" : "");
 
   infer::InferenceConfig config;
-  config.design = ParseDesign(design_name);
+  config.design = common.design();
   config.max_sequences = max_sequences;
-  if (!host_suffix.empty()) {
-    config.host_suffix = host_suffix;
+  config.db_build_shards = common.db_build_threads;
+  if (!common.host_suffix.empty()) {
+    config.host_suffix = common.host_suffix;
   }
   const infer::InferenceEngine engine(&manifest, config);
   const infer::InferenceResult result = engine.Analyze(trace);
   // Snapshot right after Analyze so the export happens even on the
   // no-sequence early exit below.
-  if (!metrics_out.empty()) {
-    const telemetry::MetricsSnapshot snapshot =
-        telemetry::MetricsRegistry::Global().Snapshot();
-    std::ofstream metrics(metrics_out, std::ios::binary);
-    if (!metrics) {
-      std::fprintf(stderr, "error: cannot write metrics to %s\n", metrics_out.c_str());
-      return 2;
-    }
-    metrics << (metrics_format == "prom" ? snapshot.ToPrometheus() : snapshot.ToJson());
+  if (!common.metrics_out.empty() &&
+      !tools::WriteMetricsSnapshot(common.metrics_out, common.metrics_format, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
   }
   std::printf("inference: %zu candidate sequence(s)%s\n\n", result.sequences.size(),
               result.truncated ? " (truncated)" : "");

@@ -2,7 +2,9 @@
 //
 // Usage:
 //   csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)
-//             [--threads N] [--repeat R] [--host SUFFIX] [--quiet]
+//             [--threads N] [--db-build-threads N] [--repeat R]
+//             [--host SUFFIX] [--quiet]
+//             [--follow-manifests N] [--db-compact-after N]
 //             [--metrics-out FILE] [--metrics-format json|prom]
 //
 // The deployment workload (paper §6.2.3 scaled up): a directory of per-device
@@ -10,6 +12,13 @@
 // Prints per-trace summaries plus batch throughput in sessions/sec, and can
 // dump a pipeline-telemetry snapshot (stage latencies, cache hit rates,
 // thread-pool stats) next to the results.
+//
+// --follow-manifests N replays a live session: the batch starts from a
+// prefix of the manifest (half the positions), and N metadata refreshes
+// spread across the --repeat rounds append the remaining chunks through a
+// LiveChunkDatabase — each round re-acquires the current snapshot, so the
+// last round analyzes against the full database. Inference output at a given
+// refresh point is byte-identical to a fresh full build there.
 //
 // Unreadable pcaps do not abort the batch: each failure is recorded and
 // counted, the remaining traces are analyzed, and the exit status is
@@ -20,8 +29,7 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +37,8 @@
 #include "src/common/stats.h"
 #include "src/common/telemetry.h"
 #include "src/csi/batch_analyzer.h"
+#include "src/csi/live_database.h"
+#include "tools/cli_options.h"
 
 using namespace csi;
 
@@ -42,107 +52,87 @@ namespace {
                "usage: csi_batch --manifest FILE --design CH|SH|CQ|SQ (--dir DIR | PCAP...)\n"
                "                 [--threads N] [--db-build-threads N] [--repeat R]\n"
                "                 [--host SUFFIX] [--quiet]\n"
+               "                 [--follow-manifests N] [--db-compact-after N]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
                "\n"
                "  --db-build-threads N   shard the chunk-database build into N jobs fanned\n"
                "                         over the worker pool (0 = one shard per worker;\n"
-               "                         1 = serial build; the index is identical either way)\n");
+               "                         1 = serial build; the index is identical either way)\n"
+               "  --follow-manifests N   replay a live manifest: start from a half-length\n"
+               "                         prefix and apply N metadata refreshes spread across\n"
+               "                         the --repeat rounds via a LiveChunkDatabase\n"
+               "  --db-compact-after N   delta chunks that trigger a live-database\n"
+               "                         compaction (default 4096; 0 = every refresh)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
-std::string ReadFileOrDie(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
+// The replay schedule for --follow-manifests: the prefix manifest the batch
+// starts from plus the refreshes that grow it back to the full manifest.
+struct FollowPlan {
+  media::Manifest start;
+  std::vector<infer::ManifestRefresh> refreshes;
+};
 
-infer::DesignType ParseDesign(const std::string& name) {
-  if (name == "CH") {
-    return infer::DesignType::kCH;
+FollowPlan BuildFollowPlan(const media::Manifest& full, int refreshes) {
+  FollowPlan plan;
+  const int positions = full.num_positions();
+  const int start_positions = std::max(1, positions / 2);
+  const int tail = positions - start_positions;
+  const int steps = std::min(refreshes, tail);
+
+  plan.start = full;
+  for (auto& track : plan.start.video_tracks) {
+    track.chunks.resize(static_cast<size_t>(start_positions));
   }
-  if (name == "SH") {
-    return infer::DesignType::kSH;
+  for (auto& track : plan.start.audio_tracks) {
+    track.chunks.resize(
+        std::min(track.chunks.size(), static_cast<size_t>(start_positions)));
   }
-  if (name == "CQ") {
-    return infer::DesignType::kCQ;
+
+  for (int r = 0; r < steps; ++r) {
+    const int lo = start_positions + tail * r / steps;
+    const int hi = start_positions + tail * (r + 1) / steps;
+    infer::ManifestRefresh refresh;
+    refresh.video_appends.resize(full.video_tracks.size());
+    for (size_t t = 0; t < full.video_tracks.size(); ++t) {
+      const auto& chunks = full.video_tracks[t].chunks;
+      refresh.video_appends[t].assign(chunks.begin() + lo, chunks.begin() + hi);
+    }
+    plan.refreshes.push_back(std::move(refresh));
   }
-  if (name == "SQ") {
-    return infer::DesignType::kSQ;
-  }
-  Usage("unknown design type (expected CH, SH, CQ or SQ)");
+  return plan;
 }
 
 }  // namespace
 
-// Writes the global metrics snapshot; returns false (with a message) on
-// filesystem failure.
-bool WriteMetrics(const std::string& path, const std::string& format) {
-  const telemetry::MetricsSnapshot snapshot = telemetry::MetricsRegistry::Global().Snapshot();
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
-    return false;
-  }
-  out << (format == "prom" ? snapshot.ToPrometheus() : snapshot.ToJson());
-  return true;
-}
-
 int main(int argc, char** argv) {
-  std::string manifest_path;
-  std::string design_name;
+  tools::CommonOptions common;
   std::string dir;
-  std::string host_suffix;
-  std::string metrics_out;
-  std::string metrics_format = "json";
   std::vector<std::string> pcap_paths;
   int threads = 0;
-  int db_build_threads = 0;
   int repeat = 1;
+  int follow_refreshes = 0;
+  int db_compact_after = -1;
   bool quiet = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        Usage(("missing value for " + arg).c_str());
-      }
-      return argv[++i];
-    };
-    if (arg == "--manifest") {
-      manifest_path = next();
-    } else if (arg == "--design") {
-      design_name = next();
-    } else if (arg == "--dir") {
-      dir = next();
-    } else if (arg == "--threads") {
-      threads = std::stoi(next());
-    } else if (arg == "--db-build-threads") {
-      db_build_threads = std::stoi(next());
-    } else if (arg == "--repeat") {
-      repeat = std::stoi(next());
-    } else if (arg == "--host") {
-      host_suffix = next();
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--metrics-out") {
-      metrics_out = next();
-    } else if (arg == "--metrics-format") {
-      metrics_format = next();
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(nullptr);
-    } else if (!arg.empty() && arg[0] == '-') {
-      Usage(("unknown argument: " + arg).c_str());
-    } else {
-      pcap_paths.push_back(arg);
-    }
+  tools::FlagParser parser;
+  common.Register(&parser);
+  parser.AddString("--dir", &dir);
+  parser.AddInt("--threads", &threads);
+  parser.AddInt("--repeat", &repeat);
+  parser.AddInt("--follow-manifests", &follow_refreshes);
+  parser.AddInt("--db-compact-after", &db_compact_after);
+  parser.AddBool("--quiet", &quiet);
+
+  std::string error;
+  if (!parser.Parse(argc, argv, &pcap_paths, &error)) {
+    Usage(error.c_str());
   }
-  if (manifest_path.empty() || design_name.empty()) {
-    Usage("--manifest and --design are required");
+  if (parser.help_requested()) {
+    Usage(nullptr);
+  }
+  if (!common.Validate(&error)) {
+    Usage(error.c_str());
   }
   if (!dir.empty()) {
     std::error_code ec;
@@ -164,11 +154,19 @@ int main(int argc, char** argv) {
   if (repeat < 1) {
     Usage("--repeat must be >= 1");
   }
-  if (metrics_format != "json" && metrics_format != "prom") {
-    Usage("--metrics-format must be json or prom");
+  if (follow_refreshes < 0) {
+    Usage("--follow-manifests must be >= 0");
+  }
+  if (db_compact_after < -1) {
+    Usage("--db-compact-after must be >= 0");
   }
 
-  const media::Manifest manifest = media::Manifest::Parse(ReadFileOrDie(manifest_path));
+  std::string manifest_text;
+  if (!tools::ReadFileToString(common.manifest_path, &manifest_text, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  const media::Manifest manifest = media::Manifest::Parse(manifest_text);
   // A corrupt capture is an expected condition at deployment scale (truncated
   // tcpdump, mid-rotation file): record it, keep going, fail at the end.
   std::vector<capture::CaptureTrace> traces;
@@ -195,28 +193,85 @@ int main(int argc, char** argv) {
   }
 
   infer::InferenceConfig config;
-  config.design = ParseDesign(design_name);
-  if (!host_suffix.empty()) {
-    config.host_suffix = host_suffix;
+  config.design = common.design();
+  if (!common.host_suffix.empty()) {
+    config.host_suffix = common.host_suffix;
   }
   infer::BatchConfig batch;
   batch.threads = threads;
-  batch.db_build_shards = db_build_threads;
+  batch.db_build_shards = common.db_build_threads;
   if (!quiet) {
     batch.progress = [](size_t done, size_t total_traces) {
       std::fprintf(stderr, "  ...%zu/%zu traces\n", done, total_traces);
     };
   }
-  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+
+  // Live-replay mode: start from the prefix manifest and grow it back via a
+  // LiveChunkDatabase. Static mode: one full build, as before.
+  std::optional<FollowPlan> plan;
+  std::optional<infer::LiveChunkDatabase> live;
+  std::optional<infer::BatchAnalyzer> analyzer;
+  if (follow_refreshes > 0) {
+    plan = BuildFollowPlan(manifest, follow_refreshes);
+    if (plan->refreshes.empty()) {
+      std::fprintf(stderr,
+                   "warning: manifest too short to follow (%d positions); "
+                   "running a static batch\n",
+                   manifest.num_positions());
+      plan.reset();
+    }
+  }
+  if (plan.has_value()) {
+    infer::LiveChunkDatabase::Options live_options;
+    live_options.build_shards = common.db_build_threads;
+    if (db_compact_after >= 0) {
+      live_options.compact_after_delta_chunks = static_cast<size_t>(db_compact_after);
+    }
+    live.emplace(plan->start, live_options);
+    // The engine must rank against the same non-media objects at every
+    // refresh point; pin the full manifest's size up front (the default would
+    // re-derive it from the prefix).
+    config.other_object_sizes.push_back(manifest.SerializedSize() +
+                                        config.expected_fixed_overhead);
+    if (config.host_suffix.empty()) {
+      config.host_suffix = manifest.host;
+    }
+    analyzer.emplace(live->Acquire(), config, batch);
+    std::printf("following manifest: %d -> %d positions over %zu refresh(es)\n",
+                plan->start.num_positions(), manifest.num_positions(),
+                plan->refreshes.size());
+  } else {
+    analyzer.emplace(&manifest, config, batch);
+  }
 
   std::vector<infer::InferenceResult> results;
   std::vector<double> trace_seconds;
   std::vector<std::string> trace_errors;
+  size_t applied = 0;
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < repeat; ++r) {
-    results = analyzer.AnalyzeAll(traces, &trace_seconds, &trace_errors);
+    if (live.has_value()) {
+      // Spread refreshes across rounds so the final round always sees the
+      // fully grown database.
+      const size_t target = plan->refreshes.size() * static_cast<size_t>(r + 1) /
+                            static_cast<size_t>(repeat);
+      for (; applied < target; ++applied) {
+        live->ApplyRefresh(plan->refreshes[applied]);
+      }
+      const infer::DbSnapshot snapshot = live->Acquire();
+      analyzer->UpdateSnapshot(snapshot);
+      if (!quiet) {
+        std::fprintf(stderr, "  round %d: epoch %llu, %d positions, %zu delta chunk(s)\n",
+                     r, static_cast<unsigned long long>(snapshot.epoch()),
+                     snapshot.num_positions(), snapshot.delta_chunks());
+      }
+    }
+    results = analyzer->AnalyzeAll(traces, &trace_seconds, &trace_errors);
   }
   const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  if (live.has_value()) {
+    live->WaitForCompaction();
+  }
 
   if (!quiet) {
     for (size_t i = 0; i < results.size(); ++i) {
@@ -227,8 +282,13 @@ int main(int argc, char** argv) {
   }
   const double sessions = static_cast<double>(traces.size()) * repeat;
   std::printf("analyzed %.0f session(s) in %.3f s on %d worker(s): %.2f sessions/sec\n",
-              sessions, elapsed.count(), analyzer.threads(),
+              sessions, elapsed.count(), analyzer->threads(),
               sessions / std::max(elapsed.count(), 1e-9));
+  if (live.has_value()) {
+    std::printf("live database: epoch %llu, %d positions, %zu residual delta chunk(s)\n",
+                static_cast<unsigned long long>(live->epoch()), live->num_positions(),
+                live->delta_chunks());
+  }
   if (!trace_seconds.empty()) {
     RunningStats per_trace;
     for (double s : trace_seconds) {
@@ -240,8 +300,10 @@ int main(int argc, char** argv) {
   }
 
   bool metrics_ok = true;
-  if (!metrics_out.empty()) {
-    metrics_ok = WriteMetrics(metrics_out, metrics_format);
+  if (!common.metrics_out.empty() &&
+      !tools::WriteMetricsSnapshot(common.metrics_out, common.metrics_format, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    metrics_ok = false;
   }
   // Analyze failures mirror load failures: every bad trace is reported by
   // name, the good results above still stand, and the exit status is the
