@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/common/telemetry.h"
+#include "src/csi/candidate_cache.h"
 
 namespace csi::infer {
 
@@ -19,6 +20,17 @@ int ResolveThreads(int requested) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Creates the batch-wide shared candidate cache unless the caller brought
+// their own, disabled it (candidate_cache_mb == 0), or the env forces it off.
+void ResolveCandidateCache(InferenceConfig* config, const BatchConfig& batch) {
+  if (config->candidate_cache != nullptr || batch.candidate_cache_mb <= 0 ||
+      GroupCandidateCache::EnvForcesOff()) {
+    return;
+  }
+  config->candidate_cache = std::make_shared<GroupCandidateCache>(
+      static_cast<size_t>(batch.candidate_cache_mb) * 1024 * 1024);
 }
 
 }  // namespace
@@ -37,6 +49,7 @@ InferenceEngine BatchAnalyzer::MakeEngine(const media::Manifest* manifest,
   if (config.db_build_shards == 0) {
     config.db_build_shards = batch.db_build_shards;
   }
+  ResolveCandidateCache(&config, batch);
   return InferenceEngine(manifest, std::move(config));
 }
 
@@ -45,6 +58,7 @@ InferenceEngine BatchAnalyzer::MakeEngine(DbSnapshot snapshot, InferenceConfig c
   if (batch.parallel_group_search) {
     config.search_pool = pool;
   }
+  ResolveCandidateCache(&config, batch);
   return InferenceEngine(std::move(snapshot), std::move(config));
 }
 

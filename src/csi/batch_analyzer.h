@@ -36,6 +36,13 @@ struct BatchConfig {
   // pool; 0 = one shard per worker plus the caller, 1 = serial build. The
   // index is byte-identical for every value (db_differential_test).
   int db_build_shards = 0;
+  // Byte budget (in MiB) for the shared group-candidate cache created when
+  // InferenceConfig::candidate_cache is null: every trace of every batch run
+  // through this analyzer shares it, so repeated group signatures across
+  // traces (and across --follow-manifests refreshes) warm-start. 0 disables;
+  // an explicit InferenceConfig::candidate_cache wins over this knob. Results
+  // are byte-identical either way (candidate_cache_test).
+  int candidate_cache_mb = 64;
   // Test seam / fault injection: when set, called instead of
   // InferenceEngine::Analyze for every trace.
   std::function<InferenceResult(const capture::CaptureTrace&)> analyze_override;
@@ -85,6 +92,11 @@ class BatchAnalyzer {
 
   const InferenceEngine& engine() const { return engine_; }
   int threads() const { return pool_.num_workers(); }
+  // The shared group-candidate cache (caller-provided or analyzer-created);
+  // null when disabled. Stats reads are safe while a batch runs.
+  const GroupCandidateCache* candidate_cache() const {
+    return engine_.config().candidate_cache.get();
+  }
 
  private:
   // Both constructors funnel through these: they patch `config` with the

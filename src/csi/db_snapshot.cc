@@ -1,12 +1,22 @@
 #include "src/csi/db_snapshot.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <utility>
 
 #include "src/common/telemetry.h"
 
 namespace csi::infer {
+
+namespace internal {
+
+uint64_t NextSnapshotStateId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -18,6 +28,9 @@ std::shared_ptr<const internal::SnapshotRep> MakeFullRep(
   rep->audio_sizes = base->audio_sizes();
   rep->num_positions = base->num_positions();
   rep->epoch = epoch;
+  rep->state_id = internal::NextSnapshotStateId();
+  // Standalone full builds are their own (single-state) lineage.
+  rep->lineage_id = rep->state_id;
   return rep;
 }
 
@@ -43,6 +56,17 @@ std::pair<size_t, size_t> DbSnapshot::DeltaRange(Bytes lo, Bytes hi) const {
   return {static_cast<size_t>(first - delta.begin()),
           std::max(static_cast<size_t>(first - delta.begin()),
                    static_cast<size_t>(last - delta.begin()))};
+}
+
+bool DbSnapshot::DeltaHasSizeInWindow(Bytes lo, Bytes hi, int min_index) const {
+  const auto [first, last] = DeltaRange(lo, hi);
+  const std::vector<internal::DeltaEntry>& delta = rep_->delta;
+  for (size_t i = first; i < last; ++i) {
+    if (ChunkDatabase::IndexOfPacked(delta[i].packed) >= min_index) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<media::ChunkRef> DbSnapshot::VideoCandidatesInSizeRange(Bytes lo, Bytes hi) const {

@@ -80,7 +80,20 @@ struct SnapshotRep {
   std::vector<Bytes> audio_sizes;
   int num_positions = 0;
   uint64_t epoch = 0;
+  // Process-unique id of this published state: two reps never share one, and
+  // SameStateAs equality implies state-id equality. Cache keys use it instead
+  // of the rep pointer (pointers can be reused after a rep dies).
+  uint64_t state_id = 0;
+  // Process-unique id of the evolving database this state belongs to (one per
+  // LiveChunkDatabase; standalone full-build reps get their own). Two states
+  // of the same lineage differ only by appends — positions are never resized
+  // or resized downward and existing chunk sizes never change — which is what
+  // makes cross-state cache revalidation sound (see candidate_cache.h).
+  uint64_t lineage_id = 0;
 };
+
+// Next process-unique snapshot state id (atomic counter, starts at 1).
+uint64_t NextSnapshotStateId();
 
 }  // namespace internal
 
@@ -107,10 +120,22 @@ class DbSnapshot {
 
   bool valid() const { return rep_ != nullptr; }
   uint64_t epoch() const { return rep_->epoch; }
+  // Process-unique id of the pinned published state (see SnapshotRep).
+  uint64_t state_id() const { return rep_->state_id; }
+  // Process-unique id of the evolving database this state belongs to.
+  uint64_t lineage_id() const { return rep_->lineage_id; }
   // Number of chunks in the delta buffer (0 for full-build snapshots).
   size_t delta_chunks() const { return rep_->delta.size(); }
+  // Positions covered by the compacted base index (delta entries all name
+  // positions >= this).
+  int base_positions() const { return rep_->base->num_positions(); }
   // True when both handles pin the exact same published state.
   bool SameStateAs(const DbSnapshot& other) const { return rep_ == other.rep_; }
+
+  // Validity probe for cross-state cache revalidation: true iff some delta
+  // chunk at absolute position >= min_index has size in [lo, hi]. O(log d) to
+  // narrow the sorted delta buffer plus a scan of the in-window entries.
+  bool DeltaHasSizeInWindow(Bytes lo, Bytes hi, int min_index) const;
 
   // The compacted base index. Deprecated escape hatch for code that still
   // wants a raw ChunkDatabase; it does NOT see the delta buffer.

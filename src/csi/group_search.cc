@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "src/common/telemetry.h"
+#include "src/csi/candidate_cache.h"
 
 namespace csi::infer {
 namespace {
@@ -172,30 +173,45 @@ struct RunDfs {
 
 }  // namespace
 
-std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
-                                                     const DbSnapshot& db,
-                                                     const GroupSearchConfig& config,
-                                                     const DisplayConstraints& display,
-                                                     int start_lo, int start_hi,
-                                                     bool* truncated,
-                                                     CandidateQueryCache* cache,
-                                                     MonotonicArena* arena) {
+std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
+    const TrafficGroup& group, const DbSnapshot& db, const GroupSearchConfig& config,
+    const DisplayConstraints& display, int start_lo, int start_hi,
+    CandidateQueryCache* cache, MonotonicArena* arena, uint32_t context_id) {
+  auto set = std::make_shared<GroupCandidateSet>();
   const int n_req = group.num_requests();
   if (n_req == 0) {
-    return {};
+    return set;
   }
   CSI_SPAN("candidate_enum");
   CSI_COUNTER_INC("csi_group_enumerations_total");
   if (n_req > config.max_group_requests) {
-    std::vector<GroupCandidate> oversized;
     if (config.enable_wildcards) {
       CSI_COUNTER_INC("csi_group_wildcards_total");
       GroupCandidate wild;
       wild.wildcard = true;
-      oversized.push_back(wild);
+      set->candidates.push_back(wild);
     }
-    return oversized;
+    return set;
   }
+
+  // Consult the shared cross-trace cache before doing any work. The two
+  // early-outs above are cheaper than a cache probe and stay uncached.
+  GroupCandidateCache* shared = config.shared_cache;
+  if (shared != nullptr && GroupCandidateCache::EnvForcesOff()) {
+    shared = nullptr;
+  }
+  GroupCandidateCache::Query query;
+  if (shared != nullptr) {
+    if (context_id == 0) {
+      context_id = shared->InternContext(config, display);
+    }
+    query = GroupCandidateCache::MakeQuery(db, context_id, n_req, group.estimated_total,
+                                           start_lo, start_hi);
+    if (std::shared_ptr<const GroupCandidateSet> hit = shared->Lookup(query, db, config)) {
+      return hit;
+    }
+  }
+
   // Every allocation below that does not cross a thread boundary lands in the
   // arena: it is scratch, reclaimed wholesale by the reset at the next call.
   MonotonicArena local_arena;
@@ -211,6 +227,26 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
   const ArenaVector<ObjectSplit> splits =
       EnumerateObjectSplits(group, db, config, scratch);
   bool capped_flag = false;
+
+  // Size hulls of the splits, recorded with the cache entry so later states
+  // can prove the output unchanged (see candidate_cache.h).
+  CandidateSetHull hull;
+  for (const ObjectSplit& split : splits) {
+    if (split.video_count < 1) {
+      continue;
+    }
+    hull.has_video_split = true;
+    hull.v_max = std::max(hull.v_max, split.video_count);
+    hull.hull_all_hi = std::max(hull.hull_all_hi, split.video_hi);
+    if (split.video_count == 1) {
+      const Bytes lo = std::max<Bytes>(split.video_lo, 0);
+      hull.hull1_lo = hull.has_v1 ? std::min(hull.hull1_lo, lo) : lo;
+      hull.hull1_hi = std::max(hull.hull1_hi, split.video_hi);
+      hull.has_v1 = true;
+    } else {
+      hull.hull2_hi = std::max(hull.hull2_hi, split.video_hi);
+    }
+  }
 
   // Video-free explanations (start-agnostic): valid when the window admits
   // zero video bytes.
@@ -355,9 +391,6 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
   }
   CSI_HISTOGRAM_OBSERVE("csi_group_candidates_per_enum", telemetry::CountBuckets(),
                         candidates.size());
-  if (capped_flag && truncated != nullptr) {
-    *truncated = true;
-  }
   // Degrade to a wildcard only when the group cannot be explained at all
   // (oversized, corrupted estimate, or enumeration cut short before finding
   // anything). A wildcard alongside real candidates would flood the chain
@@ -370,11 +403,30 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
   }
   // The survivors move out to caller-owned storage; everything else the
   // enumeration touched dies with the arena at the next reset.
-  std::vector<GroupCandidate> result;
-  result.reserve(candidates.size());
-  std::move(candidates.begin(), candidates.end(), std::back_inserter(result));
+  set->truncated = capped_flag;
+  set->candidates.reserve(candidates.size());
+  std::move(candidates.begin(), candidates.end(), std::back_inserter(set->candidates));
   CSI_GAUGE_SET("csi_group_search_arena_bytes", scratch->peak_bytes());
-  return result;
+  if (shared != nullptr) {
+    shared->Insert(query, db, hull, set);
+  }
+  return set;
+}
+
+std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
+                                                     const DbSnapshot& db,
+                                                     const GroupSearchConfig& config,
+                                                     const DisplayConstraints& display,
+                                                     int start_lo, int start_hi,
+                                                     bool* truncated,
+                                                     CandidateQueryCache* cache,
+                                                     MonotonicArena* arena) {
+  const std::shared_ptr<const GroupCandidateSet> set = EnumerateGroupCandidateSet(
+      group, db, config, display, start_lo, start_hi, cache, arena, /*context_id=*/0);
+  if (set->truncated && truncated != nullptr) {
+    *truncated = true;
+  }
+  return set->candidates;
 }
 
 double CandidateCost(const GroupCandidate& candidate, Bytes estimated_total,
@@ -402,7 +454,13 @@ class GroupSequenceSearcher {
         config_(config),
         display_(display),
         positions_(db.num_positions()),
-        query_cache_(db_) {}
+        query_cache_(db_) {
+    // Intern the shared-cache context once per search instead of per
+    // enumeration (it is identical for every group of this run).
+    if (config_.shared_cache != nullptr && !GroupCandidateCache::EnvForcesOff()) {
+      context_id_ = config_.shared_cache->InternContext(config_, display_);
+    }
+  }
 
   InferenceResult Run() {
     CSI_SPAN("sequence_chain");
@@ -611,34 +669,38 @@ class GroupSequenceSearcher {
     if (it != merged_cand_cache_.end()) {
       return it->second;
     }
-    bool truncated = false;
-    std::vector<GroupCandidate> cands =
-        EnumerateGroupCandidates(MergedGroup(g), db_, config_, display_, lo, hi,
-                                 &truncated, &query_cache_, &enum_arena_);
+    const std::shared_ptr<const GroupCandidateSet> set =
+        EnumerateGroupCandidateSet(MergedGroup(g), db_, config_, display_, lo, hi,
+                                   &query_cache_, &enum_arena_, context_id_);
     // Only the one-object-deficit explanations make sense for a merge (two
-    // requests, one real object); drop the rest to keep the beam clean.
-    std::erase_if(cands, [](const GroupCandidate& c) {
-      return c.wildcard ||
-             static_cast<int>(c.tracks.size()) + c.audio_count + c.other_count != 1;
-    });
-    truncated_ = truncated_ || truncated;
+    // requests, one real object); the filtered copy stays local — the shared
+    // cache keeps the unfiltered set for other consumers of the same key.
+    std::vector<GroupCandidate> cands;
+    for (const GroupCandidate& c : set->candidates) {
+      if (c.wildcard ||
+          static_cast<int>(c.tracks.size()) + c.audio_count + c.other_count != 1) {
+        continue;
+      }
+      cands.push_back(c);
+    }
+    truncated_ = truncated_ || set->truncated;
     return merged_cand_cache_.emplace(key, std::move(cands)).first->second;
   }
 
   // Lazy, cached per-(group, start-range) candidate enumeration. The range
-  // conditioning is what keeps the per-group search space tractable.
+  // conditioning is what keeps the per-group search space tractable. Sets are
+  // held by pointer: a shared-cache hit is never copied into the searcher.
   const std::vector<GroupCandidate>& CandidatesFor(int g, int lo, int hi) {
     const auto key = std::make_tuple(g, lo, hi);
     auto it = cand_cache_.find(key);
     if (it != cand_cache_.end()) {
-      return it->second;
+      return it->second->candidates;
     }
-    bool truncated = false;
-    std::vector<GroupCandidate> cands = EnumerateGroupCandidates(
-        groups_[static_cast<size_t>(g)], db_, config_, display_, lo, hi, &truncated,
-        &query_cache_, &enum_arena_);
-    truncated_ = truncated_ || truncated;
-    return cand_cache_.emplace(key, std::move(cands)).first->second;
+    std::shared_ptr<const GroupCandidateSet> set = EnumerateGroupCandidateSet(
+        groups_[static_cast<size_t>(g)], db_, config_, display_, lo, hi,
+        &query_cache_, &enum_arena_, context_id_);
+    truncated_ = truncated_ || set->truncated;
+    return cand_cache_.emplace(key, std::move(set)).first->second->candidates;
   }
 
   Transition Apply(const GroupCandidate& c, int g, int lo, int hi) const {
@@ -748,7 +810,10 @@ class GroupSequenceSearcher {
   const GroupSearchConfig& config_;
   const DisplayConstraints& display_;
   int positions_ = 0;
-  std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> cand_cache_;
+  // Shared-cache context id, interned once in the constructor (0 = no shared
+  // cache; the enumeration then ignores it).
+  uint32_t context_id_ = 0;
+  std::map<std::tuple<int, int, int>, std::shared_ptr<const GroupCandidateSet>> cand_cache_;
   std::map<std::tuple<int, int, int>, std::vector<GroupCandidate>> merged_cand_cache_;
   // Thread-confined: one searcher runs one trace, on one thread. The arena
   // backs each enumeration's scratch and is reset at every call.

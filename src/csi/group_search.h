@@ -21,6 +21,8 @@
 #ifndef CSI_SRC_CSI_GROUP_SEARCH_H_
 #define CSI_SRC_CSI_GROUP_SEARCH_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/arena.h"
@@ -31,6 +33,9 @@
 #include "src/csi/types.h"
 
 namespace csi::infer {
+
+class GroupCandidateCache;  // candidate_cache.h
+struct GroupCandidateSet;   // candidate_cache.h
 
 struct GroupCandidate {
   int video_start = -1;     // -1: no video chunks in this group
@@ -83,6 +88,13 @@ struct GroupSearchConfig {
   // re-ranked output is bit-identical to the serial path (each start index
   // gets budgets that do not depend on the partitioning). Null: serial.
   ThreadPool* pool = nullptr;
+  // Optional shared cross-trace result cache (see candidate_cache.h):
+  // enumeration consults it before the DFS and publishes after rank+truncate,
+  // so results are bit-identical cache-on vs cache-off by construction. Null
+  // (or CSI_CANDIDATE_CACHE=off): every enumeration computes. The caller
+  // keeps the cache alive for the search's lifetime; it is safe to share
+  // across concurrent searches.
+  GroupCandidateCache* shared_cache = nullptr;
 };
 
 // All explanations of one group whose video run starts within
@@ -104,6 +116,17 @@ std::vector<GroupCandidate> EnumerateGroupCandidates(const TrafficGroup& group,
                                                      bool* truncated,
                                                      CandidateQueryCache* cache = nullptr,
                                                      MonotonicArena* arena = nullptr);
+
+// Same enumeration, returning the immutable shared form the cross-trace
+// cache stores: on a cache hit the set is shared, never copied. Callers that
+// run many enumerations against config.shared_cache should intern their
+// (config, display) context once and pass it as `context_id` (0 interns on
+// demand). EnumerateGroupCandidates is a copying wrapper over this.
+std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
+    const TrafficGroup& group, const DbSnapshot& db, const GroupSearchConfig& config,
+    const DisplayConstraints& display, int start_lo, int start_hi,
+    CandidateQueryCache* cache = nullptr, MonotonicArena* arena = nullptr,
+    uint32_t context_id = 0);
 
 // Ranking cost: relative deviation of the observed estimate from the
 // candidate's predicted estimate under the calibrated overhead model.

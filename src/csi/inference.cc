@@ -144,6 +144,7 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   group.enable_wildcards = config_.enable_wildcards;
   group.enable_merge_repair = config_.enable_merge_repair;
   group.pool = config_.search_pool;
+  group.shared_cache = config_.candidate_cache.get();
   if (!config_.enable_phantom_deficit) {
     group.max_phantom_requests = 0;
   }

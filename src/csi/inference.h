@@ -9,6 +9,7 @@
 #ifndef CSI_SRC_CSI_INFERENCE_H_
 #define CSI_SRC_CSI_INFERENCE_H_
 
+#include <memory>
 #include <string>
 
 #include "src/capture/packet_record.h"
@@ -53,6 +54,12 @@ struct InferenceConfig {
   // index is byte-identical for every pool/shard combination.
   ThreadPool* db_build_pool = nullptr;
   int db_build_shards = 0;
+  // Optional shared group-candidate result cache (see candidate_cache.h),
+  // consulted by the SQ enumeration. Shared ownership: several engines (or a
+  // BatchAnalyzer plus standalone engines) may point at one cache and warm
+  // each other up. Results are byte-identical with or without it. Null: no
+  // cross-trace caching.
+  std::shared_ptr<GroupCandidateCache> candidate_cache;
 };
 
 class InferenceEngine {

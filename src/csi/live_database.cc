@@ -52,6 +52,9 @@ LiveChunkDatabase::LiveChunkDatabase(const media::Manifest& initial, Options opt
   rep->audio_sizes = rep->base->audio_sizes();
   rep->num_positions = rep->base->num_positions();
   rep->epoch = 0;
+  rep->state_id = internal::NextSnapshotStateId();
+  lineage_id_ = rep->state_id;
+  rep->lineage_id = lineage_id_;
   Publish(std::move(rep));
 }
 
@@ -163,6 +166,8 @@ DbSnapshot LiveChunkDatabase::ApplyRefresh(const ManifestRefresh& refresh) {
     rep->audio_sizes = old->audio_sizes;
     rep->num_positions = old->num_positions + static_cast<int>(appended);
     rep->epoch = old->epoch + 1;
+    rep->state_id = internal::NextSnapshotStateId();
+    rep->lineage_id = lineage_id_;
 
     published = rep;
     manifest_version = std::move(manifest);
@@ -222,6 +227,8 @@ void LiveChunkDatabase::CompactFrom(std::shared_ptr<const media::Manifest> manif
   rep->audio_sizes = rep->base->audio_sizes();
   rep->num_positions = old->num_positions;
   rep->epoch = old->epoch + 1;
+  rep->state_id = internal::NextSnapshotStateId();
+  rep->lineage_id = lineage_id_;
   Publish(std::move(rep));
 }
 

@@ -115,6 +115,9 @@ class LiveChunkDatabase {
 
   Options options_;
   int num_tracks_ = 0;
+  // Process-unique id shared by every state this database publishes; cache
+  // layers use it to know two snapshots differ only by appends.
+  uint64_t lineage_id_ = 0;
 
   // Guards `current_` only; held for pointer swaps, never while building.
   mutable std::mutex state_mu_;

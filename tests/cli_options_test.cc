@@ -160,6 +160,65 @@ TEST(CommonOptionsTest, ValidateRejectsBadInputs) {
   }
 }
 
+TEST(CommonOptionsTest, CandidateCacheFlags) {
+  std::string error;
+  {
+    CommonOptions common;
+    FlagParser parser;
+    common.Register(&parser);
+    const Argv args({"--manifest", "m.txt", "--design", "SQ",
+                     "--candidate-cache-mb", "128"});
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), nullptr, &error)) << error;
+    ASSERT_TRUE(common.Validate(&error)) << error;
+    EXPECT_EQ(common.candidate_cache_mb, 128);
+    EXPECT_EQ(common.candidate_cache_budget_mb(), 128);
+  }
+  {
+    // Defaults: cache on at 64 MiB.
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "SQ";
+    ASSERT_TRUE(common.Validate(&error)) << error;
+    EXPECT_EQ(common.candidate_cache_budget_mb(), 64);
+  }
+  {
+    // --candidate-cache off beats any budget.
+    CommonOptions common;
+    FlagParser parser;
+    common.Register(&parser);
+    const Argv args({"--manifest", "m.txt", "--design", "SQ", "--candidate-cache",
+                     "off", "--candidate-cache-mb", "128"});
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), nullptr, &error)) << error;
+    ASSERT_TRUE(common.Validate(&error)) << error;
+    EXPECT_EQ(common.candidate_cache_budget_mb(), 0);
+  }
+  {
+    // --candidate-cache-mb 0 disables without the switch.
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "SQ";
+    common.candidate_cache_mb = 0;
+    ASSERT_TRUE(common.Validate(&error)) << error;
+    EXPECT_EQ(common.candidate_cache_budget_mb(), 0);
+  }
+  {
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "SQ";
+    common.candidate_cache_mb = -1;
+    EXPECT_FALSE(common.Validate(&error));
+    EXPECT_NE(error.find("candidate-cache-mb"), std::string::npos);
+  }
+  {
+    CommonOptions common;
+    common.manifest_path = "m.txt";
+    common.design_name = "SQ";
+    common.candidate_cache = "maybe";
+    EXPECT_FALSE(common.Validate(&error));
+    EXPECT_NE(error.find("candidate-cache"), std::string::npos);
+  }
+}
+
 TEST(CommonOptionsTest, ParseDesignNameCoversAllDesigns) {
   infer::DesignType design;
   ASSERT_TRUE(ParseDesignName("CH", &design));

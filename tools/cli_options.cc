@@ -100,6 +100,8 @@ void CommonOptions::Register(FlagParser* parser) {
   parser->AddString("--metrics-out", &metrics_out);
   parser->AddString("--metrics-format", &metrics_format);
   parser->AddInt("--db-build-threads", &db_build_threads);
+  parser->AddInt("--candidate-cache-mb", &candidate_cache_mb);
+  parser->AddString("--candidate-cache", &candidate_cache);
 }
 
 bool CommonOptions::Validate(std::string* error) const {
@@ -128,7 +130,23 @@ bool CommonOptions::Validate(std::string* error) const {
     }
     return false;
   }
+  if (candidate_cache_mb < 0) {
+    if (error != nullptr) {
+      *error = "--candidate-cache-mb must be >= 0";
+    }
+    return false;
+  }
+  if (candidate_cache != "on" && candidate_cache != "off") {
+    if (error != nullptr) {
+      *error = "--candidate-cache must be on or off";
+    }
+    return false;
+  }
   return true;
+}
+
+int CommonOptions::candidate_cache_budget_mb() const {
+  return candidate_cache == "off" ? 0 : candidate_cache_mb;
 }
 
 infer::DesignType CommonOptions::design() const {

@@ -58,15 +58,23 @@ struct CommonOptions {
   std::string metrics_format = "json";
   // Shard count for the chunk-database build (0 = one shard per worker).
   int db_build_threads = 0;
+  // Byte budget (MiB) for the shared group-candidate cache; 0 disables it.
+  int candidate_cache_mb = 64;
+  // "on" (default) or "off"; off wins over --candidate-cache-mb. The
+  // CSI_CANDIDATE_CACHE=off environment override beats both.
+  std::string candidate_cache = "on";
 
   // Registers --manifest, --design, --host, --metrics-out, --metrics-format,
-  // --db-build-threads.
+  // --db-build-threads, --candidate-cache-mb, --candidate-cache.
   void Register(FlagParser* parser);
   // Returns false and fills *error when required flags are missing or values
   // are out of range. Call after Parse().
   bool Validate(std::string* error) const;
   // The parsed --design value; only valid after Validate() passed.
   infer::DesignType design() const;
+  // The effective cache budget in MiB after combining both cache flags
+  // (0 when disabled). Only valid after Validate() passed.
+  int candidate_cache_budget_mb() const;
 };
 
 // Parses CH|SH|CQ|SQ into *out; false on anything else.

@@ -4,6 +4,7 @@
 //   csi_analyze --pcap session.pcap --manifest video.manifest --design SH
 //               [--host suffix] [--max-sequences N] [--report sequence|qoe|both]
 //               [--db-build-threads N]
+//               [--candidate-cache-mb N] [--candidate-cache on|off]
 //               [--metrics-out FILE] [--metrics-format json|prom]
 //
 // Inputs are exactly what a real deployment has (paper §4): a tcpdump pcap of
@@ -11,11 +12,13 @@
 // Prints the inferred chunk sequence(s) and/or the derived QoE report.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/capture/pcap_io.h"
 #include "src/common/table.h"
+#include "src/csi/candidate_cache.h"
 #include "src/csi/inference.h"
 #include "src/csi/qoe.h"
 #include "tools/cli_options.h"
@@ -32,6 +35,7 @@ namespace {
                "usage: csi_analyze --pcap FILE --manifest FILE --design CH|SH|CQ|SQ\n"
                "                   [--host SUFFIX] [--max-sequences N]\n"
                "                   [--report sequence|qoe|both] [--db-build-threads N]\n"
+               "                   [--candidate-cache-mb N] [--candidate-cache on|off]\n"
                "                   [--metrics-out FILE] [--metrics-format json|prom]\n");
   std::exit(error == nullptr ? 0 : 2);
 }
@@ -85,6 +89,13 @@ int main(int argc, char** argv) {
   config.db_build_shards = common.db_build_threads;
   if (!common.host_suffix.empty()) {
     config.host_suffix = common.host_suffix;
+  }
+  // Single-trace runs still profit within the trace (repeated group
+  // signatures across SQ groups); the cache also feeds the hit-rate metrics.
+  if (const int cache_mb = common.candidate_cache_budget_mb();
+      cache_mb > 0 && !infer::GroupCandidateCache::EnvForcesOff()) {
+    config.candidate_cache = std::make_shared<infer::GroupCandidateCache>(
+        static_cast<size_t>(cache_mb) * 1024 * 1024);
   }
   const infer::InferenceEngine engine(&manifest, config);
   const infer::InferenceResult result = engine.Analyze(trace);

@@ -5,6 +5,7 @@
 //             [--threads N] [--db-build-threads N] [--repeat R]
 //             [--host SUFFIX] [--quiet]
 //             [--follow-manifests N] [--db-compact-after N]
+//             [--candidate-cache-mb N] [--candidate-cache on|off]
 //             [--metrics-out FILE] [--metrics-format json|prom]
 //
 // The deployment workload (paper §6.2.3 scaled up): a directory of per-device
@@ -37,6 +38,7 @@
 #include "src/common/stats.h"
 #include "src/common/telemetry.h"
 #include "src/csi/batch_analyzer.h"
+#include "src/csi/candidate_cache.h"
 #include "src/csi/live_database.h"
 #include "tools/cli_options.h"
 
@@ -53,6 +55,7 @@ namespace {
                "                 [--threads N] [--db-build-threads N] [--repeat R]\n"
                "                 [--host SUFFIX] [--quiet]\n"
                "                 [--follow-manifests N] [--db-compact-after N]\n"
+               "                 [--candidate-cache-mb N] [--candidate-cache on|off]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
                "\n"
                "  --db-build-threads N   shard the chunk-database build into N jobs fanned\n"
@@ -62,7 +65,13 @@ namespace {
                "                         prefix and apply N metadata refreshes spread across\n"
                "                         the --repeat rounds via a LiveChunkDatabase\n"
                "  --db-compact-after N   delta chunks that trigger a live-database\n"
-               "                         compaction (default 4096; 0 = every refresh)\n");
+               "                         compaction (default 4096; 0 = every refresh)\n"
+               "  --candidate-cache-mb N byte budget (MiB) for the shared group-candidate\n"
+               "                         cache amortizing repeated group signatures across\n"
+               "                         traces and refreshes (default 64; 0 disables)\n"
+               "  --candidate-cache on|off\n"
+               "                         force the candidate cache off regardless of budget\n"
+               "                         (results are byte-identical either way)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -200,6 +209,7 @@ int main(int argc, char** argv) {
   infer::BatchConfig batch;
   batch.threads = threads;
   batch.db_build_shards = common.db_build_threads;
+  batch.candidate_cache_mb = common.candidate_cache_budget_mb();
   if (!quiet) {
     batch.progress = [](size_t done, size_t total_traces) {
       std::fprintf(stderr, "  ...%zu/%zu traces\n", done, total_traces);
@@ -288,6 +298,18 @@ int main(int argc, char** argv) {
     std::printf("live database: epoch %llu, %d positions, %zu residual delta chunk(s)\n",
                 static_cast<unsigned long long>(live->epoch()), live->num_positions(),
                 live->delta_chunks());
+  }
+  if (const infer::GroupCandidateCache* cache = analyzer->candidate_cache()) {
+    const infer::GroupCandidateCache::Stats cache_stats = cache->stats();
+    std::printf("candidate cache: %.1f%% hit ratio (%llu hit(s), %llu miss(es)), "
+                "%llu invalidation(s), %llu eviction(s), %.1f MiB in %llu entries\n",
+                100.0 * cache_stats.hit_ratio(),
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                static_cast<unsigned long long>(cache_stats.invalidations),
+                static_cast<unsigned long long>(cache_stats.evictions),
+                static_cast<double>(cache_stats.bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(cache_stats.entries));
   }
   if (!trace_seconds.empty()) {
     RunningStats per_trace;
