@@ -1,0 +1,59 @@
+#include "src/common/build_info.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/common/simd.h"
+
+namespace csi {
+
+namespace {
+
+// Mirrors infer::GroupCandidateCache::EnvForcesOff(); duplicated here so
+// csi_common does not depend on csi_core.
+bool CandidateCacheEnvOff() {
+  const char* env = std::getenv("CSI_CANDIDATE_CACHE");
+  if (env == nullptr) {
+    return false;
+  }
+  const std::string value(env);
+  return value == "off" || value == "OFF" || value == "0" || value == "none";
+}
+
+}  // namespace
+
+telemetry::Labels BuildInfoLabels() {
+  return {
+      {"candidate_cache_default", CandidateCacheEnvOff() ? "off" : "on"},
+      {"simd",
+#if defined(CSI_SIMD_DISABLED)
+       "off"
+#else
+       "on"
+#endif
+      },
+      {"simd_backend", simd::BackendName(simd::ActiveBackend())},
+      {"telemetry",
+#if defined(CSI_TELEMETRY_DISABLED)
+       "off"
+#else
+       "on"
+#endif
+      },
+      {"tracing",
+#if defined(CSI_TRACING_DISABLED)
+       "off"
+#else
+       "on"
+#endif
+      },
+  };
+}
+
+void RecordBuildInfoMetric() {
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("csi_build_info", BuildInfoLabels())
+      ->Set(1.0);
+}
+
+}  // namespace csi

@@ -67,7 +67,7 @@ std::string PromLabels(const Labels& labels) {
     if (i > 0) {
       out += ",";
     }
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + PromEscapeLabelValue(labels[i].second) + "\"";
   }
   out += "}";
   return out;
@@ -78,9 +78,9 @@ std::string PromLabelsWith(const Labels& labels, const std::string& extra_key,
                            const std::string& extra_value) {
   std::string out = "{";
   for (const auto& [key, value] : labels) {
-    out += key + "=\"" + value + "\",";
+    out += key + "=\"" + PromEscapeLabelValue(value) + "\",";
   }
-  out += extra_key + "=\"" + extra_value + "\"}";
+  out += extra_key + "=\"" + PromEscapeLabelValue(extra_value) + "\"}";
   return out;
 }
 
@@ -90,6 +90,67 @@ Labels SortedLabels(Labels labels) {
 }
 
 }  // namespace
+
+// Prometheus text-exposition label values escape exactly backslash, double
+// quote and newline (https://prometheus.io/docs/instrumenting/exposition_formats/).
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool IsValidPrometheusMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head_ok = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head_ok(name[0])) {
+    return false;
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head_ok(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsValidPrometheusLabelName(const std::string& name) {
+  if (name.empty() || (name.size() >= 2 && name[0] == '_' && name[1] == '_')) {
+    return false;  // "__" prefix is reserved for internal labels
+  }
+  auto head_ok = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head_ok(name[0])) {
+    return false;
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head_ok(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
 
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 

@@ -171,6 +171,14 @@ struct MetricsSnapshot {
   std::string ToPrometheus() const;
 };
 
+// Prometheus text-exposition helpers (used by ToPrometheus, exposed for
+// exporter edge-case tests). Label values escape backslash, double quote and
+// newline; names must match the exposition-format grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]* for metrics, no leading "__" for labels).
+std::string PromEscapeLabelValue(const std::string& value);
+bool IsValidPrometheusMetricName(const std::string& name);
+bool IsValidPrometheusLabelName(const std::string& name);
+
 // Thread-safe named-metric registry. Get* registers on first use and returns
 // the same pointer afterwards; pointers stay valid for the registry's
 // lifetime (for Global(): the process lifetime), which is what lets call

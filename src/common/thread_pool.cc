@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
 
 namespace csi {
 
@@ -115,13 +116,33 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
       }
     }
   };
+  // Trace-context propagation: the caller opens a flow ('s'); every helper
+  // that actually runs binds to it with a step ('t') inside its own task
+  // span, so the fanned-out work nests under this loop in the trace viewer.
+  // The caller closes the flow ('f') after the join.
+  uint64_t flow = 0;
+  if (trace::Enabled()) {
+    flow = trace::NewFlowId();
+    trace::EmitBegin("parallel_for", "pool", {{"n", n}});
+    trace::EmitFlow('s', "parallel_for", flow);
+  }
   // Helpers never outnumber the remaining iterations; a helper that starts
   // after the loop is drained exits immediately.
   const int64_t helpers = std::min<int64_t>(num_workers(), n - 1);
   state->unfinished = helpers;
   for (int64_t h = 0; h < helpers; ++h) {
-    Post([state, drain]() {
-      drain();
+    Post([state, drain, flow]() {
+      {
+        const bool traced = flow != 0 && trace::Enabled();
+        if (traced) {
+          trace::EmitBegin("parallel_for_worker", "pool");
+          trace::EmitFlow('t', "parallel_for", flow);
+        }
+        drain();
+        if (traced) {
+          trace::EmitEnd("parallel_for_worker", "pool");
+        }
+      }
       std::lock_guard<std::mutex> lock(state->mu);
       if (--state->unfinished == 0) {
         state->done_cv.notify_all();
@@ -147,6 +168,10 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
       state->done_cv.wait(lock, [&]() { return state->unfinished == 0; });
       break;
     }
+  }
+  if (flow != 0 && trace::Enabled()) {
+    trace::EmitFlow('f', "parallel_for", flow);
+    trace::EmitEnd("parallel_for", "pool");
   }
   if (state->err) {
     std::rethrow_exception(state->err);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
 #include "src/csi/candidate_cache.h"
 
 namespace csi::infer {
@@ -75,7 +76,8 @@ BatchAnalyzer::BatchAnalyzer(DbSnapshot snapshot, InferenceConfig config, BatchC
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
     const std::vector<const capture::CaptureTrace*>& traces,
-    std::vector<double>* trace_seconds, std::vector<std::string>* trace_errors) {
+    std::vector<double>* trace_seconds, std::vector<std::string>* trace_errors,
+    std::vector<InferenceAudit>* audits) {
   const size_t total = traces.size();
   std::vector<InferenceResult> results(total);
   if (trace_seconds != nullptr) {
@@ -84,29 +86,42 @@ std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
   if (trace_errors != nullptr) {
     trace_errors->assign(total, std::string());
   }
+  if (audits != nullptr) {
+    audits->assign(total, InferenceAudit{});
+  }
+  CSI_TRACE_SPAN_ARGS("batch_analyze_all", "batch",
+                      {"traces", static_cast<int64_t>(total)});
   std::atomic<size_t> completed{0};
   std::mutex progress_mu;
   pool_.ParallelFor(static_cast<int64_t>(total), [&](int64_t i) {
     // One clock pair per trace is noise next to Analyze itself; reading it
     // unconditionally keeps the timing slots available with telemetry off.
     const auto start = std::chrono::steady_clock::now();
+    CSI_TRACE_SPAN_ARGS("batch_trace", "batch", {"index", i});
     // A throwing trace must not take its siblings down with it: the slot
     // keeps a default result and the error is reported by index. Letting the
     // exception escape would make ParallelFor abort the remaining traces.
     try {
       const capture::CaptureTrace& trace = *traces[static_cast<size_t>(i)];
+      InferenceAudit* const audit =
+          audits != nullptr ? &(*audits)[static_cast<size_t>(i)] : nullptr;
       results[static_cast<size_t>(i)] =
-          batch_.analyze_override ? batch_.analyze_override(trace) : engine_.Analyze(trace);
+          batch_.analyze_override ? batch_.analyze_override(trace)
+                                  : engine_.Analyze(trace, {}, audit);
     } catch (const std::exception& e) {
       if (trace_errors != nullptr) {
         (*trace_errors)[static_cast<size_t>(i)] = e.what();
       }
       CSI_COUNTER_INC("csi_batch_trace_analyze_failures_total");
+      trace::TraceSession::Global().DumpFlightRecord(
+          "batch trace " + std::to_string(i), e.what());
     } catch (...) {
       if (trace_errors != nullptr) {
         (*trace_errors)[static_cast<size_t>(i)] = "unknown error";
       }
       CSI_COUNTER_INC("csi_batch_trace_analyze_failures_total");
+      trace::TraceSession::Global().DumpFlightRecord(
+          "batch trace " + std::to_string(i), "unknown error");
     }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -129,13 +144,13 @@ std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
 
 std::vector<InferenceResult> BatchAnalyzer::AnalyzeAll(
     const std::vector<capture::CaptureTrace>& traces, std::vector<double>* trace_seconds,
-    std::vector<std::string>* trace_errors) {
+    std::vector<std::string>* trace_errors, std::vector<InferenceAudit>* audits) {
   std::vector<const capture::CaptureTrace*> pointers;
   pointers.reserve(traces.size());
   for (const capture::CaptureTrace& trace : traces) {
     pointers.push_back(&trace);
   }
-  return AnalyzeAll(pointers, trace_seconds, trace_errors);
+  return AnalyzeAll(pointers, trace_seconds, trace_errors, audits);
 }
 
 }  // namespace csi::infer

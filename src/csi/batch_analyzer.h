@@ -81,14 +81,25 @@ class BatchAnalyzer {
   // siblings. The failed slot keeps a default-constructed InferenceResult,
   // the exception message lands in trace_errors[i] (when non-null; sibling
   // slots hold empty strings), and csi_batch_trace_analyze_failures_total is
-  // incremented — the batch itself always completes.
+  // incremented — the batch itself always completes. When a flight-recorder
+  // trace session is active, the first failing trace also dumps the
+  // per-thread event rings (TraceSession::DumpFlightRecord) before the batch
+  // moves on.
+  //
+  // If `audits` is non-null it is resized to the batch size and slot i
+  // receives trace i's inference audit record (see audit.h). Audits are
+  // by-index like the other out-params, so they stay deterministic; slots of
+  // failed traces keep whatever was recorded before the throw. The
+  // analyze_override test seam bypasses the engine and leaves audits empty.
   std::vector<InferenceResult> AnalyzeAll(
       const std::vector<const capture::CaptureTrace*>& traces,
       std::vector<double>* trace_seconds = nullptr,
-      std::vector<std::string>* trace_errors = nullptr);
+      std::vector<std::string>* trace_errors = nullptr,
+      std::vector<InferenceAudit>* audits = nullptr);
   std::vector<InferenceResult> AnalyzeAll(const std::vector<capture::CaptureTrace>& traces,
                                           std::vector<double>* trace_seconds = nullptr,
-                                          std::vector<std::string>* trace_errors = nullptr);
+                                          std::vector<std::string>* trace_errors = nullptr,
+                                          std::vector<InferenceAudit>* audits = nullptr);
 
   const InferenceEngine& engine() const { return engine_; }
   int threads() const { return pool_.num_workers(); }

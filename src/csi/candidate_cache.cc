@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
+#include "src/csi/audit.h"
 
 namespace csi::infer {
 
@@ -207,12 +209,17 @@ std::shared_ptr<const GroupCandidateSet> GroupCandidateCache::Lookup(
   CSI_SPAN("group_cache_lookup");
   Shard& shard = ShardFor(query);
   std::shared_ptr<const GroupCandidateSet> hit;
+  [[maybe_unused]] bool found = false;
+  bool same_state = false;
+  [[maybe_unused]] bool stale_snapshot = false;
   bool invalidated = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(query);
     if (it != shard.index.end()) {
+      found = true;
       Entry& entry = *it->second;
+      same_state = entry.state_id == db.state_id();
       if (Revalidate(entry, db, config)) {
         entry.referenced = true;
         hit = entry.set;
@@ -224,20 +231,44 @@ std::shared_ptr<const GroupCandidateSet> GroupCandidateCache::Lookup(
         shard.entries.erase(it->second);
         shard.index.erase(it);
         invalidated = true;
+      } else {
+        // The probing snapshot is older than the entry (a publish raced the
+        // batch): miss without dropping — the entry stays right for newer
+        // snapshots.
+        stale_snapshot = true;
       }
     }
   }
+  InferenceAudit* const audit = CurrentAudit();
   if (hit != nullptr) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     CSI_COUNTER_INC("csi_group_cache_hits_total");
+    if (audit != nullptr) {
+      ++(same_state ? audit->cache_hits : audit->cache_revalidations);
+    }
+    CSI_TRACE_INSTANT("group_cache", "cache",
+                      {"outcome", same_state ? "hit" : "revalidated"},
+                      {"reason", same_state ? "same_state" : "delta_proven_disjoint"});
     return hit;
   }
   if (invalidated) {
     invalidations_.fetch_add(1, std::memory_order_relaxed);
     CSI_COUNTER_INC("csi_group_cache_invalidations_total");
+    if (audit != nullptr) {
+      ++audit->cache_invalidations;
+    }
+    CSI_TRACE_INSTANT("group_cache", "cache", {"outcome", "invalidated"},
+                      {"reason", "delta_in_window_or_compaction"});
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   CSI_COUNTER_INC("csi_group_cache_misses_total");
+  if (audit != nullptr) {
+    ++audit->cache_misses;
+  }
+  CSI_TRACE_INSTANT("group_cache", "cache", {"outcome", "miss"},
+                    {"reason", !found          ? "absent"
+                               : stale_snapshot ? "stale_snapshot"
+                                                : "invalidated"});
   return nullptr;
 }
 

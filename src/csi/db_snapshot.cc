@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
 
 namespace csi::infer {
 
@@ -72,7 +73,10 @@ bool DbSnapshot::DeltaHasSizeInWindow(Bytes lo, Bytes hi, int min_index) const {
 std::vector<media::ChunkRef> DbSnapshot::VideoCandidatesInSizeRange(Bytes lo, Bytes hi) const {
   const internal::SnapshotRep& rep = *rep_;
   if (rep.delta.empty()) {
-    return rep.base->VideoCandidatesInSizeRange(lo, hi);
+    std::vector<media::ChunkRef> out = rep.base->VideoCandidatesInSizeRange(lo, hi);
+    CSI_TRACE_INSTANT("db_query", "db", {"lo", lo}, {"hi", hi},
+                      {"candidates", static_cast<int64_t>(out.size())});
+    return out;
   }
 
   const auto [bfirst, blast] = rep.base->FlatRange(lo, hi);
@@ -111,6 +115,8 @@ std::vector<media::ChunkRef> DbSnapshot::VideoCandidatesInSizeRange(Bytes lo, By
   for (; d < dlast; ++d) {
     push(rep.delta[d].packed);
   }
+  CSI_TRACE_INSTANT("db_query", "db", {"lo", lo}, {"hi", hi},
+                    {"candidates", static_cast<int64_t>(out.size())});
   return out;
 }
 

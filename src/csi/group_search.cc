@@ -10,6 +10,8 @@
 #include <tuple>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
+#include "src/csi/audit.h"
 #include "src/csi/candidate_cache.h"
 
 namespace csi::infer {
@@ -183,10 +185,20 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
     return set;
   }
   CSI_SPAN("candidate_enum");
+  CSI_TRACE_SPAN_ARGS("candidate_enum", "search", {"requests", n_req},
+                      {"start_lo", start_lo}, {"start_hi", start_hi},
+                      {"estimated_total", group.estimated_total});
   CSI_COUNTER_INC("csi_group_enumerations_total");
+  InferenceAudit* const audit = CurrentAudit();
+  if (audit != nullptr) {
+    ++audit->enumerations;
+  }
   if (n_req > config.max_group_requests) {
     if (config.enable_wildcards) {
       CSI_COUNTER_INC("csi_group_wildcards_total");
+      if (audit != nullptr) {
+        ++audit->wildcards;
+      }
       GroupCandidate wild;
       wild.wildcard = true;
       set->candidates.push_back(wild);
@@ -208,6 +220,12 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
     query = GroupCandidateCache::MakeQuery(db, context_id, n_req, group.estimated_total,
                                            start_lo, start_hi);
     if (std::shared_ptr<const GroupCandidateSet> hit = shared->Lookup(query, db, config)) {
+      if (audit != nullptr) {
+        audit->candidates += static_cast<int64_t>(hit->candidates.size());
+        if (hit->truncated) {
+          ++audit->enum_truncations;
+        }
+      }
       return hit;
     }
   }
@@ -327,6 +345,11 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
     // default allocator — the single-threaded arena must not cross threads.
     std::vector<std::vector<GroupCandidate>> per_start(static_cast<size_t>(range));
     std::vector<char> start_capped(static_cast<size_t>(range), 0);
+    // Per-job tallies merged by the calling thread: the audit collector is
+    // thread-local to the analyzing thread, and one flush per enumeration
+    // also touches fewer counter atomics than one per job.
+    std::vector<int64_t> job_expanded(static_cast<size_t>(range), 0);
+    std::vector<int64_t> job_pruned(static_cast<size_t>(range), 0);
     ParallelFor(config.pool, range, [&](int64_t job) {
       const int s = start_lo + static_cast<int>(job);
       std::vector<GroupCandidate>& out = per_start[static_cast<size_t>(job)];
@@ -355,14 +378,24 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
           break;
         }
       }
-      CSI_COUNTER_ADD("csi_dfs_nodes_expanded_total", nodes_expanded);
-      CSI_COUNTER_ADD("csi_dfs_nodes_pruned_total", nodes_pruned);
+      job_expanded[static_cast<size_t>(job)] = nodes_expanded;
+      job_pruned[static_cast<size_t>(job)] = nodes_pruned;
     });
+    int64_t total_expanded = 0;
+    int64_t total_pruned = 0;
     for (int job = 0; job < range; ++job) {
       auto& out = per_start[static_cast<size_t>(job)];
       candidates.insert(candidates.end(), std::make_move_iterator(out.begin()),
                         std::make_move_iterator(out.end()));
       capped_flag = capped_flag || start_capped[static_cast<size_t>(job)] != 0;
+      total_expanded += job_expanded[static_cast<size_t>(job)];
+      total_pruned += job_pruned[static_cast<size_t>(job)];
+    }
+    CSI_COUNTER_ADD("csi_dfs_nodes_expanded_total", total_expanded);
+    CSI_COUNTER_ADD("csi_dfs_nodes_pruned_total", total_pruned);
+    if (audit != nullptr) {
+      audit->dfs_nodes_expanded += total_expanded;
+      audit->dfs_nodes_pruned += total_pruned;
     }
   }
 
@@ -391,12 +424,24 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
   }
   CSI_HISTOGRAM_OBSERVE("csi_group_candidates_per_enum", telemetry::CountBuckets(),
                         candidates.size());
+  if (audit != nullptr) {
+    audit->candidates += static_cast<int64_t>(candidates.size());
+    if (capped_flag) {
+      ++audit->enum_truncations;
+    }
+  }
+  CSI_TRACE_INSTANT("candidate_enum_result", "search",
+                    {"candidates", static_cast<int64_t>(candidates.size())},
+                    {"truncated", capped_flag ? 1 : 0});
   // Degrade to a wildcard only when the group cannot be explained at all
   // (oversized, corrupted estimate, or enumeration cut short before finding
   // anything). A wildcard alongside real candidates would flood the chain
   // search with low-information sequences.
   if (candidates.empty() && config.enable_wildcards) {
     CSI_COUNTER_INC("csi_group_wildcards_total");
+    if (audit != nullptr) {
+      ++audit->wildcards;
+    }
     GroupCandidate wild;
     wild.wildcard = true;
     candidates.push_back(wild);
@@ -464,6 +509,8 @@ class GroupSequenceSearcher {
 
   InferenceResult Run() {
     CSI_SPAN("sequence_chain");
+    CSI_TRACE_SPAN_ARGS("sequence_chain", "search",
+                        {"groups", static_cast<int64_t>(groups_.size())});
     InferenceResult result;
     for (const auto& g : groups_) {
       result.group_sizes.push_back(g.num_requests());
@@ -588,6 +635,10 @@ class GroupSequenceSearcher {
     // low-information interpretations).
     std::vector<std::vector<SlotAssignment>> clean;
     std::vector<std::vector<SlotAssignment>> degraded;
+    // Path costs parallel to clean/degraded, kept for the audit record
+    // (chosen vs runner-up explanation scores).
+    std::vector<double> clean_costs;
+    std::vector<double> degraded_costs;
     for (int idx : frontier) {
       std::vector<SlotAssignment> assignment;
       int cursor = idx;
@@ -618,8 +669,11 @@ class GroupSequenceSearcher {
         }
       }
       (is_clean ? clean : degraded).push_back(std::move(assignment));
+      (is_clean ? clean_costs : degraded_costs)
+          .push_back(arena[static_cast<size_t>(idx)].cost);
     }
     auto& chosen = clean.empty() ? degraded : clean;
+    const auto& chosen_costs = clean.empty() ? degraded_costs : clean_costs;
     if (static_cast<int>(chosen.size()) > config_.max_sequences) {
       chosen.resize(static_cast<size_t>(config_.max_sequences));
       truncated_ = true;
@@ -633,6 +687,17 @@ class GroupSequenceSearcher {
     CSI_COUNTER_ADD("csi_chain_nodes_total", arena.size());
     if (truncated_) {
       CSI_COUNTER_INC("csi_chain_truncated_total");
+    }
+    if (InferenceAudit* audit = CurrentAudit()) {
+      audit->chain_nodes += static_cast<int64_t>(arena.size());
+      if (!chosen_costs.empty()) {
+        audit->has_best_cost = true;
+        audit->best_cost = chosen_costs[0];
+      }
+      if (chosen_costs.size() > 1) {
+        audit->has_runner_up_cost = true;
+        audit->runner_up_cost = chosen_costs[1];
+      }
     }
     return result;
   }

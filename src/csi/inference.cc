@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
 #include "src/csi/flow_classifier.h"
 #include "src/csi/size_estimator.h"
 
@@ -113,16 +114,25 @@ void InferenceEngine::MergePhantomSplits(std::vector<EstimatedExchange>* exchang
 }
 
 InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
-                                         const DisplayConstraints& display) const {
+                                         const DisplayConstraints& display,
+                                         InferenceAudit* audit) const {
   CSI_SPAN("analyze");
+  CSI_TRACE_SPAN_ARGS("analyze", "stage",
+                      {"packets", static_cast<int64_t>(trace.size())});
   CSI_COUNTER_INC("csi_analyze_calls_total");
+  const AuditScope audit_scope(audit);
   std::vector<Flow> flows;
   {
     CSI_SPAN("flow_classify");
+    CSI_TRACE_SPAN("flow_classify", "stage");
     flows = ClassifyMediaFlows(trace, config_.host_suffix);
+  }
+  if (audit != nullptr) {
+    audit->media_flows = static_cast<int>(flows.size());
   }
   if (flows.empty()) {
     CSI_COUNTER_INC("csi_analyze_no_media_flow_total");
+    CSI_TRACE_INSTANT("analyze_no_media_flow", "stage");
     return {};
   }
   // The player streams over one connection; if several media flows exist
@@ -159,9 +169,11 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   std::vector<TrafficGroup> groups;
   if (config_.design == DesignType::kSQ) {
     CSI_SPAN("traffic_split");
+    CSI_TRACE_SPAN("traffic_split", "stage");
     groups = SplitIntoGroups(main_flow->packets, config_.splitter);
   } else {
     CSI_SPAN("size_estimate");
+    CSI_TRACE_SPAN("size_estimate", "stage");
     std::vector<EstimatedExchange> exchanges;
     for (const EstimatedExchange& ex : EstimateExchanges(main_flow->packets, quic)) {
       if (ex.carries_sni) {
@@ -186,7 +198,41 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
     }
   }
   CSI_SPAN("group_search");
-  return SearchGroupSequences(groups, snapshot_, group, display);
+  CSI_TRACE_SPAN_ARGS("group_search", "stage",
+                      {"groups", static_cast<int64_t>(groups.size())});
+  if (audit != nullptr) {
+    audit->groups = static_cast<int>(groups.size());
+  }
+  InferenceResult result = SearchGroupSequences(groups, snapshot_, group, display);
+  if (audit != nullptr) {
+    audit->sequences = static_cast<int>(result.sequences.size());
+    audit->truncated = result.truncated;
+    // Surface the audit in the trace too, so a Perfetto view of the session
+    // carries the explanation without the JSONL side channel.
+    CSI_TRACE_INSTANT("inference_audit_stages", "audit",
+                      {"media_flows", audit->media_flows},
+                      {"groups", audit->groups},
+                      {"sequences", audit->sequences},
+                      {"truncated", audit->truncated ? 1 : 0});
+    CSI_TRACE_INSTANT("inference_audit_enum", "audit",
+                      {"enumerations", audit->enumerations},
+                      {"candidates", audit->candidates},
+                      {"dfs_nodes_expanded", audit->dfs_nodes_expanded},
+                      {"dfs_nodes_pruned", audit->dfs_nodes_pruned});
+    CSI_TRACE_INSTANT("inference_audit_cache", "audit",
+                      {"hits", audit->cache_hits},
+                      {"revalidations", audit->cache_revalidations},
+                      {"invalidations", audit->cache_invalidations},
+                      {"misses", audit->cache_misses});
+    if (audit->has_best_cost) {
+      CSI_TRACE_INSTANT("inference_audit_scores", "audit",
+                        {"best_cost", audit->best_cost},
+                        {"runner_up_cost", audit->has_runner_up_cost
+                                               ? audit->runner_up_cost
+                                               : -1.0});
+    }
+  }
+  return result;
 }
 
 }  // namespace csi::infer

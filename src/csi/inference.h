@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/capture/packet_record.h"
+#include "src/csi/audit.h"
 #include "src/csi/chunk_database.h"
 #include "src/csi/db_snapshot.h"
 #include "src/csi/group_search.h"
@@ -76,9 +77,12 @@ class InferenceEngine {
   InferenceEngine(const media::Manifest* manifest, InferenceConfig config);
 
   // Runs the inference on a capture. `display` optionally carries
-  // (index -> track) constraints from screen analysis.
+  // (index -> track) constraints from screen analysis. `audit`, when
+  // non-null, is filled with the per-trace explanation record (see audit.h);
+  // collecting it never changes the result.
   InferenceResult Analyze(const capture::CaptureTrace& trace,
-                          const DisplayConstraints& display = {}) const;
+                          const DisplayConstraints& display = {},
+                          InferenceAudit* audit = nullptr) const;
 
   // Re-points the engine at a newer database version (e.g. after a
   // LiveChunkDatabase publish). Config stays frozen — defaults derived from

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
 #include "src/csi/chunk_database.h"
 
 namespace csi::infer {
@@ -76,12 +77,15 @@ DbSnapshot LiveChunkDatabase::Acquire() const { return DbSnapshot(Current()); }
 
 void LiveChunkDatabase::Publish(std::shared_ptr<const internal::SnapshotRep> rep) {
   const size_t delta_chunks = rep->delta.size();
+  [[maybe_unused]] const uint64_t epoch = rep->epoch;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     current_ = std::move(rep);
   }
   CSI_COUNTER_INC("csi_db_publishes_total");
   CSI_GAUGE_SET("csi_db_delta_chunks", static_cast<int64_t>(delta_chunks));
+  CSI_TRACE_INSTANT("db_publish", "db", {"epoch", epoch},
+                    {"delta_chunks", static_cast<int64_t>(delta_chunks)});
 }
 
 DbSnapshot LiveChunkDatabase::ApplyRefresh(const ManifestRefresh& refresh) {
@@ -191,6 +195,7 @@ void LiveChunkDatabase::CompactFrom(std::shared_ptr<const media::Manifest> manif
   std::shared_ptr<const ChunkDatabase> base;
   {
     CSI_SPAN("db_compaction");
+    CSI_TRACE_SPAN("db_compaction", "db");
     base = std::make_shared<const ChunkDatabase>(
         manifest_version.get(), DbBuildOptions{options_.pool, options_.build_shards});
   }
@@ -238,15 +243,30 @@ void LiveChunkDatabase::StartBackgroundCompaction(
     return;  // one compaction in flight at a time; the next trigger re-checks
   }
   std::lock_guard<std::mutex> lock(compaction_mu_);
+  // Flow event tying the submitting thread to the worker that eventually
+  // runs the compaction, so the rebuild nests under its trigger in a viewer.
+  uint64_t flow_id = 0;
+  if (trace::Enabled()) {
+    flow_id = trace::NewFlowId();
+    trace::EmitFlow('s', "background_compaction", flow_id);
+  }
   // Replacing a finished future whose exception nobody collected drops that
   // exception; WaitForCompaction is the way to observe failures.
-  compaction_ = options_.pool->Submit([this, mv = std::move(manifest_version)]() {
-    struct ClearFlag {
-      std::atomic<bool>* flag;
-      ~ClearFlag() { flag->store(false); }
-    } clear{&compaction_running_};
-    CompactFrom(mv);
-  });
+  compaction_ =
+      options_.pool->Submit([this, mv = std::move(manifest_version), flow_id]() {
+        struct ClearFlag {
+          std::atomic<bool>* flag;
+          ~ClearFlag() { flag->store(false); }
+        } clear{&compaction_running_};
+        CSI_TRACE_SPAN("background_compaction", "db");
+        if (flow_id != 0 && trace::Enabled()) {
+          trace::EmitFlow('t', "background_compaction", flow_id);
+        }
+        CompactFrom(mv);
+        if (flow_id != 0 && trace::Enabled()) {
+          trace::EmitFlow('f', "background_compaction", flow_id);
+        }
+      });
 }
 
 DbSnapshot LiveChunkDatabase::CompactNow() {

@@ -1,0 +1,98 @@
+// Shared fixed-batch + digest harness for instrumentation-invariance tests.
+//
+// telemetry_test and tracing_test lock inference output with the same golden
+// digest: the observability layers (metrics, traces, audits) must never
+// change what the pipeline computes, in any build mode. The digest is pure
+// integer arithmetic over a deterministic synthetic batch, so it is identical
+// on every platform and with telemetry/tracing enabled, runtime-disabled, or
+// compiled out.
+
+#ifndef CSI_TESTS_INFERENCE_DIGEST_H_
+#define CSI_TESTS_INFERENCE_DIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/csi/batch_analyzer.h"
+#include "src/testbed/experiment.h"
+
+namespace csi::testutil {
+
+inline std::vector<capture::CaptureTrace> MakeBatch(const media::Manifest& manifest,
+                                                    infer::DesignType design, int count,
+                                                    TimeUs duration) {
+  std::vector<capture::CaptureTrace> traces;
+  for (int i = 0; i < count; ++i) {
+    testbed::SessionConfig config;
+    config.design = design;
+    config.manifest = &manifest;
+    Rng rng(500 + static_cast<uint64_t>(i));
+    config.downlink = (i % 2 == 0)
+                          ? nettrace::StableTrace("s", (3 + i % 3) * kMbps)
+                          : nettrace::CellularTrace("c", 5 * kMbps, 0.4, duration,
+                                                    2 * kUsPerSec, rng);
+    config.duration = duration;
+    config.seed = 40 + static_cast<uint64_t>(i);
+    traces.push_back(RunStreamingSession(config).capture);
+  }
+  return traces;
+}
+
+// FNV-1a over every integer field of the result; pure integer arithmetic, so
+// the digest is identical on any platform and in any build mode.
+inline uint64_t DigestResults(const std::vector<infer::InferenceResult>& results) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](int64_t v) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  for (const infer::InferenceResult& r : results) {
+    mix(static_cast<int64_t>(r.sequences.size()));
+    mix(r.truncated ? 1 : 0);
+    for (const infer::InferredSequence& seq : r.sequences) {
+      mix(static_cast<int64_t>(seq.slots.size()));
+      for (const infer::InferredSlot& slot : seq.slots) {
+        mix(static_cast<int64_t>(slot.kind));
+        mix(slot.chunk.track);
+        mix(slot.chunk.index);
+        mix(slot.request_time);
+        mix(slot.done_time);
+        mix(slot.estimated_size);
+      }
+    }
+    for (const infer::EstimatedExchange& ex : r.exchanges) {
+      mix(ex.request_time);
+      mix(ex.last_data_time);
+      mix(ex.estimated_size);
+      mix(ex.carries_sni ? 1 : 0);
+    }
+    for (int g : r.group_sizes) {
+      mix(g);
+    }
+  }
+  return h;
+}
+
+// Golden digest of the fixed SQ batch below. Computed with all
+// instrumentation enabled; must match with telemetry/tracing
+// runtime-disabled and in -DCSI_TELEMETRY=OFF / -DCSI_TRACING=OFF
+// (compiled-out) builds — CI runs the invariance tests in each
+// configuration.
+inline constexpr uint64_t kSqBatchDigest = 0x7d5e98917ed3562bull;
+
+inline std::vector<infer::InferenceResult> AnalyzeFixedSqBatch() {
+  const TimeUs duration = 90 * kUsPerSec;
+  const media::Manifest manifest =
+      testbed::MakeAssetForDesign(infer::DesignType::kSQ, 1, duration);
+  const auto traces = MakeBatch(manifest, infer::DesignType::kSQ, 4, duration);
+  infer::InferenceConfig config;
+  config.design = infer::DesignType::kSQ;
+  infer::BatchConfig batch;
+  batch.threads = 4;
+  infer::BatchAnalyzer analyzer(&manifest, config, batch);
+  return analyzer.AnalyzeAll(traces);
+}
+
+}  // namespace csi::testutil
+
+#endif  // CSI_TESTS_INFERENCE_DIGEST_H_

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "src/common/build_info.h"
+#include "src/common/telemetry.h"
 #include "src/testbed/experiment.h"
 #include "src/testbed/metrics.h"
 
@@ -126,6 +128,70 @@ TEST(Aggregate, ComputesTable4Columns) {
   EXPECT_DOUBLE_EQ(agg.pct_above_95, 75.0);
   EXPECT_GT(agg.pct5_accuracy, 50.0);
   EXPECT_LT(agg.pct5_accuracy, 97.0);
+}
+
+// --- Prometheus exporter edge cases ---------------------------------------
+// The text-exposition format escapes exactly backslash, double quote and
+// newline inside label values; metric names are [a-zA-Z_:][a-zA-Z0-9_:]* and
+// label names [a-zA-Z_][a-zA-Z0-9_]* with the "__" prefix reserved.
+
+TEST(PrometheusExporter, EscapesLabelValueSpecialCharacters) {
+  EXPECT_EQ(telemetry::PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(telemetry::PromEscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(telemetry::PromEscapeLabelValue("\\\\"), "\\\\\\\\");
+  EXPECT_EQ(telemetry::PromEscapeLabelValue("\n\n"), "\\n\\n");
+  // Tabs and other characters pass through untouched.
+  EXPECT_EQ(telemetry::PromEscapeLabelValue("a\tb"), "a\tb");
+}
+
+TEST(PrometheusExporter, GoldenWithSpecialCharacterLabels) {
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("csi_paths_total", {{"path", "C:\\traces\n\"live\""}})->Add(3);
+  registry.GetGauge("csi_mode", {{"note", "line1\nline2"}})->Set(1);
+  telemetry::Histogram* hist =
+      registry.GetHistogram("csi_h_seconds", {0.5}, {{"stage", "a\"b"}});
+  hist->Observe(0.1);
+  const std::string expected =
+      "# TYPE csi_paths_total counter\n"
+      "csi_paths_total{path=\"C:\\\\traces\\n\\\"live\\\"\"} 3\n"
+      "# TYPE csi_mode gauge\n"
+      "csi_mode{note=\"line1\\nline2\"} 1\n"
+      "# TYPE csi_h_seconds histogram\n"
+      "csi_h_seconds_bucket{stage=\"a\\\"b\",le=\"0.5\"} 1\n"
+      "csi_h_seconds_bucket{stage=\"a\\\"b\",le=\"+Inf\"} 1\n"
+      "csi_h_seconds_sum{stage=\"a\\\"b\"} 0.1\n"
+      "csi_h_seconds_count{stage=\"a\\\"b\"} 1\n";
+  EXPECT_EQ(registry.Snapshot().ToPrometheus(), expected);
+}
+
+TEST(PrometheusExporter, MetricNameValidity) {
+  EXPECT_TRUE(telemetry::IsValidPrometheusMetricName("csi_batch_traces_total"));
+  EXPECT_TRUE(telemetry::IsValidPrometheusMetricName("ns:sub_metric9"));
+  EXPECT_TRUE(telemetry::IsValidPrometheusMetricName("_leading_underscore"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusMetricName(""));
+  EXPECT_FALSE(telemetry::IsValidPrometheusMetricName("9starts_with_digit"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusMetricName("has-dash"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusMetricName("has space"));
+}
+
+TEST(PrometheusExporter, LabelNameValidity) {
+  EXPECT_TRUE(telemetry::IsValidPrometheusLabelName("design"));
+  EXPECT_TRUE(telemetry::IsValidPrometheusLabelName("_hidden"));
+  EXPECT_TRUE(telemetry::IsValidPrometheusLabelName("a__b"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusLabelName("__reserved"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusLabelName("9digit"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusLabelName("with:colon"));
+  EXPECT_FALSE(telemetry::IsValidPrometheusLabelName(""));
+}
+
+TEST(PrometheusExporter, BuildInfoIsWellFormed) {
+  EXPECT_TRUE(telemetry::IsValidPrometheusMetricName("csi_build_info"));
+  const telemetry::Labels labels = BuildInfoLabels();
+  EXPECT_FALSE(labels.empty());
+  for (const auto& [key, value] : labels) {
+    EXPECT_TRUE(telemetry::IsValidPrometheusLabelName(key)) << key;
+    EXPECT_EQ(telemetry::PromEscapeLabelValue(value), value) << value;
+  }
 }
 
 }  // namespace

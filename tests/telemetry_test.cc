@@ -21,6 +21,7 @@
 #include "src/common/thread_pool.h"
 #include "src/csi/batch_analyzer.h"
 #include "src/testbed/experiment.h"
+#include "tests/inference_digest.h"
 
 namespace csi {
 namespace {
@@ -151,79 +152,13 @@ TEST(Exporters, PrometheusGolden) {
 }
 
 // --- Inference-output invariance -----------------------------------------
+// The fixed batch, digest, and golden value live in tests/inference_digest.h,
+// shared with tracing_test (same invariance contract, different subsystem).
 
-std::vector<capture::CaptureTrace> MakeBatch(const media::Manifest& manifest,
-                                             DesignType design, int count,
-                                             TimeUs duration) {
-  std::vector<capture::CaptureTrace> traces;
-  for (int i = 0; i < count; ++i) {
-    testbed::SessionConfig config;
-    config.design = design;
-    config.manifest = &manifest;
-    Rng rng(500 + static_cast<uint64_t>(i));
-    config.downlink = (i % 2 == 0)
-                          ? nettrace::StableTrace("s", (3 + i % 3) * kMbps)
-                          : nettrace::CellularTrace("c", 5 * kMbps, 0.4, duration,
-                                                    2 * kUsPerSec, rng);
-    config.duration = duration;
-    config.seed = 40 + static_cast<uint64_t>(i);
-    traces.push_back(RunStreamingSession(config).capture);
-  }
-  return traces;
-}
-
-// FNV-1a over every integer field of the result; pure integer arithmetic, so
-// the digest is identical on any platform and in any build mode.
-uint64_t DigestResults(const std::vector<infer::InferenceResult>& results) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](int64_t v) {
-    h ^= static_cast<uint64_t>(v);
-    h *= 1099511628211ull;
-  };
-  for (const infer::InferenceResult& r : results) {
-    mix(static_cast<int64_t>(r.sequences.size()));
-    mix(r.truncated ? 1 : 0);
-    for (const infer::InferredSequence& seq : r.sequences) {
-      mix(static_cast<int64_t>(seq.slots.size()));
-      for (const infer::InferredSlot& slot : seq.slots) {
-        mix(static_cast<int64_t>(slot.kind));
-        mix(slot.chunk.track);
-        mix(slot.chunk.index);
-        mix(slot.request_time);
-        mix(slot.done_time);
-        mix(slot.estimated_size);
-      }
-    }
-    for (const infer::EstimatedExchange& ex : r.exchanges) {
-      mix(ex.request_time);
-      mix(ex.last_data_time);
-      mix(ex.estimated_size);
-      mix(ex.carries_sni ? 1 : 0);
-    }
-    for (int g : r.group_sizes) {
-      mix(g);
-    }
-  }
-  return h;
-}
-
-// Golden digest of the fixed SQ batch below. Computed with telemetry
-// enabled; must match with telemetry runtime-disabled and in a
-// -DCSI_TELEMETRY=OFF (compiled-out) build — CI runs this test in both
-// configurations.
-constexpr uint64_t kSqBatchDigest = 0x7d5e98917ed3562bull;
-
-std::vector<infer::InferenceResult> AnalyzeFixedSqBatch() {
-  const TimeUs duration = 90 * kUsPerSec;
-  const media::Manifest manifest = testbed::MakeAssetForDesign(DesignType::kSQ, 1, duration);
-  const auto traces = MakeBatch(manifest, DesignType::kSQ, 4, duration);
-  infer::InferenceConfig config;
-  config.design = DesignType::kSQ;
-  infer::BatchConfig batch;
-  batch.threads = 4;
-  infer::BatchAnalyzer analyzer(&manifest, config, batch);
-  return analyzer.AnalyzeAll(traces);
-}
+using testutil::AnalyzeFixedSqBatch;
+using testutil::DigestResults;
+using testutil::MakeBatch;
+using testutil::kSqBatchDigest;
 
 TEST(TelemetryInvariance, ResultsByteIdenticalEnabledVsDisabled) {
   telemetry::SetEnabled(true);

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace-out.
+
+Checks (beyond `python3 -m json.tool` well-formedness):
+  * top level is an object with a "traceEvents" list;
+  * every event carries name/cat/ph/ts/pid/tid with sane types;
+  * phases are restricted to the set the tracer emits (B E i s t f);
+  * per-thread B/E nesting balances — an 'E' without a matching 'B' is an
+    error; trailing unclosed 'B's are allowed because stopping a session
+    mid-span legitimately leaves open spans in the ring;
+  * flow events pair up: every flow id has exactly one 's' (start), the 's'
+    is not later than any 't'/'f' with the same id, and every 't'/'f' has a
+    matching 's'.
+
+Optionally validates an --audit JSONL file: one JSON object per line, each
+with the per-trace audit fields the inference engine records.
+
+Usage: check_trace.py TRACE_JSON [--audit AUDIT_JSONL]
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "s", "t", "f"}
+REQUIRED_AUDIT_KEYS = (
+    "trace",
+    "media_flows",
+    "groups",
+    "candidates",
+    "dfs_nodes_expanded",
+    "sequences",
+    "truncated",
+)
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as fp:
+        doc = json.load(fp)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+
+    depth = {}  # tid -> open 'B' count
+    flow_starts = {}  # flow id -> ts of 's'
+    flow_steps = []  # (id, ts, phase) for 't'/'f'
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        for key, types in (
+            ("name", str),
+            ("cat", str),
+            ("ph", str),
+            ("ts", (int, float)),
+            ("pid", int),
+            ("tid", int),
+        ):
+            if key not in ev:
+                fail(f"{where}: missing required field {key!r}")
+            if not isinstance(ev[key], types):
+                fail(f"{where}: field {key!r} has type {type(ev[key]).__name__}")
+        ph = ev["ph"]
+        if ph not in ALLOWED_PHASES:
+            fail(f"{where}: unexpected phase {ph!r}")
+        if ev["ts"] < 0:
+            fail(f"{where}: negative timestamp")
+        if ph == "B":
+            depth[ev["tid"]] = depth.get(ev["tid"], 0) + 1
+        elif ph == "E":
+            d = depth.get(ev["tid"], 0)
+            if d == 0:
+                fail(f"{where}: 'E' on tid {ev['tid']} without a matching 'B'")
+            depth[ev["tid"]] = d - 1
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                fail(f"{where}: flow event without an 'id'")
+            if ph == "s":
+                if ev["id"] in flow_starts:
+                    fail(f"{where}: duplicate flow start for id {ev['id']}")
+                flow_starts[ev["id"]] = ev["ts"]
+            else:
+                flow_steps.append((ev["id"], ev["ts"], ph, i))
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"{where}: args must be an object")
+
+    for fid, ts, ph, i in flow_steps:
+        if fid not in flow_starts:
+            fail(f"{path}: event {i}: flow '{ph}' id {fid} has no 's' start")
+        if ts < flow_starts[fid]:
+            fail(f"{path}: event {i}: flow '{ph}' id {fid} precedes its 's'")
+
+    open_spans = sum(depth.values())
+    n_flows = len(flow_starts)
+    print(
+        f"check_trace: OK: {len(events)} events, {n_flows} flow(s), "
+        f"{open_spans} trailing open span(s)"
+    )
+
+
+def check_audit(path):
+    n = 0
+    with open(path, encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: invalid JSON: {e}")
+            if not isinstance(rec, dict):
+                fail(f"{path}:{lineno}: audit record must be an object")
+            for key in REQUIRED_AUDIT_KEYS:
+                if key not in rec:
+                    fail(f"{path}:{lineno}: missing audit field {key!r}")
+            n += 1
+    if n == 0:
+        fail(f"{path}: no audit records")
+    print(f"check_trace: OK: {n} audit record(s)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--audit", help="audit JSONL file to validate too")
+    args = parser.parse_args()
+    check_trace(args.trace)
+    if args.audit:
+        check_audit(args.audit)
+
+
+if __name__ == "__main__":
+    main()

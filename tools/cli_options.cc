@@ -1,12 +1,15 @@
 #include "tools/cli_options.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "src/common/build_info.h"
 #include "src/common/telemetry.h"
+#include "src/common/tracing.h"
 
 namespace csi::tools {
 
@@ -102,6 +105,9 @@ void CommonOptions::Register(FlagParser* parser) {
   parser->AddInt("--db-build-threads", &db_build_threads);
   parser->AddInt("--candidate-cache-mb", &candidate_cache_mb);
   parser->AddString("--candidate-cache", &candidate_cache);
+  parser->AddString("--trace-out", &trace_out);
+  parser->AddString("--trace-mode", &trace_mode);
+  parser->AddString("--audit-out", &audit_out);
 }
 
 bool CommonOptions::Validate(std::string* error) const {
@@ -139,6 +145,12 @@ bool CommonOptions::Validate(std::string* error) const {
   if (candidate_cache != "on" && candidate_cache != "off") {
     if (error != nullptr) {
       *error = "--candidate-cache must be on or off";
+    }
+    return false;
+  }
+  if (trace_mode != "full" && trace_mode != "flight") {
+    if (error != nullptr) {
+      *error = "--trace-mode must be full or flight";
     }
     return false;
   }
@@ -186,6 +198,7 @@ bool ReadFileToString(const std::string& path, std::string* out, std::string* er
 
 bool WriteMetricsSnapshot(const std::string& path, const std::string& format,
                           std::string* error) {
+  RecordBuildInfoMetric();
   const telemetry::MetricsSnapshot snapshot = telemetry::MetricsRegistry::Global().Snapshot();
   std::ofstream out(path, std::ios::binary);
   if (!out) {
@@ -195,6 +208,59 @@ bool WriteMetricsSnapshot(const std::string& path, const std::string& format,
     return false;
   }
   out << (format == "prom" ? snapshot.ToPrometheus() : snapshot.ToJson());
+  return true;
+}
+
+void StartTraceSessionIfRequested(const CommonOptions& options) {
+  if (options.trace_out.empty()) {
+    return;
+  }
+  trace::SessionOptions session;
+  if (options.trace_mode == "flight") {
+    session.mode = trace::Mode::kFlight;
+    session.flight_dump_path = options.trace_out;
+  }
+  trace::TraceSession::Global().Start(session);
+}
+
+bool FinishTraceSession(const CommonOptions& options, std::string* error) {
+  if (options.trace_out.empty()) {
+    return true;
+  }
+  trace::TraceSession& session = trace::TraceSession::Global();
+  session.Stop();
+  if (options.trace_mode != "full") {
+    return true;  // the flight recorder's file appears only on a failure
+  }
+  return session.ExportChromeTrace(options.trace_out, error);
+}
+
+std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "candidate cache: %.1f%% hit ratio (%llu hit(s), %llu miss(es)), "
+                "%llu invalidation(s), %llu eviction(s), %.1f MiB in %llu entries",
+                100.0 * stats.hit_ratio(), static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.invalidations),
+                static_cast<unsigned long long>(stats.evictions),
+                static_cast<double>(stats.bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(stats.entries));
+  return buf;
+}
+
+bool WriteAuditJsonl(const std::string& path, const std::vector<std::string>& labels,
+                     const std::vector<infer::InferenceAudit>& audits, std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot write audit log to " + path;
+    }
+    return false;
+  }
+  for (size_t i = 0; i < audits.size(); ++i) {
+    out << audits[i].ToJsonLine(i < labels.size() ? labels[i] : std::to_string(i)) << '\n';
+  }
   return true;
 }
 

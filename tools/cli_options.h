@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/csi/audit.h"
+#include "src/csi/candidate_cache.h"
 #include "src/csi/types.h"
 
 namespace csi::tools {
@@ -63,9 +65,19 @@ struct CommonOptions {
   // "on" (default) or "off"; off wins over --candidate-cache-mb. The
   // CSI_CANDIDATE_CACHE=off environment override beats both.
   std::string candidate_cache = "on";
+  // Structured-trace output (Chrome trace-event JSON, Perfetto-loadable);
+  // empty leaves tracing off entirely.
+  std::string trace_out;
+  // "full" records everything and exports --trace-out at exit; "flight" keeps
+  // a small per-thread ring and writes --trace-out only when a trace analysis
+  // throws (post-mortem flight recorder).
+  std::string trace_mode = "full";
+  // Per-trace inference audit records, one JSON object per line (JSONL).
+  std::string audit_out;
 
   // Registers --manifest, --design, --host, --metrics-out, --metrics-format,
-  // --db-build-threads, --candidate-cache-mb, --candidate-cache.
+  // --db-build-threads, --candidate-cache-mb, --candidate-cache,
+  // --trace-out, --trace-mode, --audit-out.
   void Register(FlagParser* parser);
   // Returns false and fills *error when required flags are missing or values
   // are out of range. Call after Parse().
@@ -85,8 +97,30 @@ bool ReadFileToString(const std::string& path, std::string* out, std::string* er
 
 // Writes the global telemetry snapshot to `path` as json or prom ("prom"
 // selects the Prometheus exposition format); false with *error on failure.
+// Stamps the csi_build_info gauge first, so every export carries the build
+// configuration.
 bool WriteMetricsSnapshot(const std::string& path, const std::string& format,
                           std::string* error);
+
+// Starts the global trace session when --trace-out was given (no-op
+// otherwise). Call before building the engine so the database build is part
+// of the trace.
+void StartTraceSessionIfRequested(const CommonOptions& options);
+
+// Stops the session and, in full mode, writes the Chrome trace JSON to
+// --trace-out. Flight mode writes nothing here — its file appears only on an
+// analysis failure. Returns false with *error on a write failure; a run
+// without --trace-out trivially succeeds.
+bool FinishTraceSession(const CommonOptions& options, std::string* error);
+
+// The one-line candidate-cache summary the tools print (hit ratio, traffic
+// counts, occupancy). No trailing newline.
+std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats& stats);
+
+// Writes audits[i] as a JSON line labeled labels[i] (falling back to the
+// index when labels run short); false with *error on failure.
+bool WriteAuditJsonl(const std::string& path, const std::vector<std::string>& labels,
+                     const std::vector<infer::InferenceAudit>& audits, std::string* error);
 
 }  // namespace csi::tools
 

@@ -6,6 +6,7 @@
 //               [--db-build-threads N]
 //               [--candidate-cache-mb N] [--candidate-cache on|off]
 //               [--metrics-out FILE] [--metrics-format json|prom]
+//               [--trace-out FILE] [--trace-mode full|flight] [--audit-out FILE]
 //
 // Inputs are exactly what a real deployment has (paper §4): a tcpdump pcap of
 // the encrypted session and the chunk-size manifest collected ahead of time.
@@ -18,6 +19,7 @@
 
 #include "src/capture/pcap_io.h"
 #include "src/common/table.h"
+#include "src/common/tracing.h"
 #include "src/csi/candidate_cache.h"
 #include "src/csi/inference.h"
 #include "src/csi/qoe.h"
@@ -36,7 +38,9 @@ namespace {
                "                   [--host SUFFIX] [--max-sequences N]\n"
                "                   [--report sequence|qoe|both] [--db-build-threads N]\n"
                "                   [--candidate-cache-mb N] [--candidate-cache on|off]\n"
-               "                   [--metrics-out FILE] [--metrics-format json|prom]\n");
+               "                   [--metrics-out FILE] [--metrics-format json|prom]\n"
+               "                   [--trace-out FILE] [--trace-mode full|flight]\n"
+               "                   [--audit-out FILE]\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -76,6 +80,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  // Before the database build so the build spans land in the trace.
+  tools::StartTraceSessionIfRequested(common);
   const media::Manifest manifest = media::Manifest::Parse(manifest_text);
   const capture::CaptureTrace trace = capture::ReadPcap(pcap_path);
   std::printf("loaded %zu packets, manifest %s: %d video tracks x %d chunks%s\n",
@@ -98,7 +104,17 @@ int main(int argc, char** argv) {
         static_cast<size_t>(cache_mb) * 1024 * 1024);
   }
   const infer::InferenceEngine engine(&manifest, config);
-  const infer::InferenceResult result = engine.Analyze(trace);
+  infer::InferenceAudit audit;
+  infer::InferenceResult result;
+  try {
+    result = engine.Analyze(trace, {}, &audit);
+  } catch (const std::exception& e) {
+    // Same post-mortem path as BatchAnalyzer: a flight-mode session dumps the
+    // last events before the error surfaces.
+    trace::TraceSession::Global().DumpFlightRecord(pcap_path, e.what());
+    std::fprintf(stderr, "error: analysis failed: %s\n", e.what());
+    return 1;
+  }
   // Snapshot right after Analyze so the export happens even on the
   // no-sequence early exit below.
   if (!common.metrics_out.empty() &&
@@ -106,8 +122,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
-  std::printf("inference: %zu candidate sequence(s)%s\n\n", result.sequences.size(),
+  if (!common.audit_out.empty() &&
+      !tools::WriteAuditJsonl(common.audit_out, {pcap_path}, {audit}, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!tools::FinishTraceSession(common, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("inference: %zu candidate sequence(s)%s\n", result.sequences.size(),
               result.truncated ? " (truncated)" : "");
+  if (config.candidate_cache != nullptr) {
+    std::printf("%s\n",
+                tools::FormatCandidateCacheSummary(config.candidate_cache->stats()).c_str());
+  }
+  std::printf("\n");
   if (result.sequences.empty()) {
     std::fprintf(stderr, "no matching chunk sequence found — wrong manifest or design?\n");
     return 1;

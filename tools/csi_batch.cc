@@ -7,6 +7,7 @@
 //             [--follow-manifests N] [--db-compact-after N]
 //             [--candidate-cache-mb N] [--candidate-cache on|off]
 //             [--metrics-out FILE] [--metrics-format json|prom]
+//             [--trace-out FILE] [--trace-mode full|flight] [--audit-out FILE]
 //
 // The deployment workload (paper §6.2.3 scaled up): a directory of per-device
 // captures of the same service, analyzed over one shared chunk database.
@@ -57,6 +58,8 @@ namespace {
                "                 [--follow-manifests N] [--db-compact-after N]\n"
                "                 [--candidate-cache-mb N] [--candidate-cache on|off]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
+               "                 [--trace-out FILE] [--trace-mode full|flight]\n"
+               "                 [--audit-out FILE]\n"
                "\n"
                "  --db-build-threads N   shard the chunk-database build into N jobs fanned\n"
                "                         over the worker pool (0 = one shard per worker;\n"
@@ -71,7 +74,15 @@ namespace {
                "                         traces and refreshes (default 64; 0 disables)\n"
                "  --candidate-cache on|off\n"
                "                         force the candidate cache off regardless of budget\n"
-               "                         (results are byte-identical either way)\n");
+               "                         (results are byte-identical either way)\n"
+               "  --trace-out FILE       record a structured event trace; full mode writes\n"
+               "                         Chrome trace-event JSON (Perfetto-loadable) at exit\n"
+               "  --trace-mode full|flight\n"
+               "                         flight keeps a small per-thread ring and writes\n"
+               "                         FILE only when a trace analysis throws (post-mortem)\n"
+               "  --audit-out FILE       per-trace inference audit records as JSONL\n"
+               "                         (candidate counts, DFS/prune totals, cache path,\n"
+               "                         chosen-vs-runner-up costs)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -175,6 +186,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  // Before the database build so the build spans land in the trace.
+  tools::StartTraceSessionIfRequested(common);
   const media::Manifest manifest = media::Manifest::Parse(manifest_text);
   // A corrupt capture is an expected condition at deployment scale (truncated
   // tcpdump, mid-rotation file): record it, keep going, fail at the end.
@@ -257,6 +270,9 @@ int main(int argc, char** argv) {
   std::vector<infer::InferenceResult> results;
   std::vector<double> trace_seconds;
   std::vector<std::string> trace_errors;
+  std::vector<infer::InferenceAudit> audits;
+  std::vector<infer::InferenceAudit>* audits_out =
+      common.audit_out.empty() ? nullptr : &audits;
   size_t applied = 0;
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < repeat; ++r) {
@@ -276,7 +292,7 @@ int main(int argc, char** argv) {
                      snapshot.num_positions(), snapshot.delta_chunks());
       }
     }
-    results = analyzer->AnalyzeAll(traces, &trace_seconds, &trace_errors);
+    results = analyzer->AnalyzeAll(traces, &trace_seconds, &trace_errors, audits_out);
   }
   const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
   if (live.has_value()) {
@@ -300,16 +316,7 @@ int main(int argc, char** argv) {
                 live->delta_chunks());
   }
   if (const infer::GroupCandidateCache* cache = analyzer->candidate_cache()) {
-    const infer::GroupCandidateCache::Stats cache_stats = cache->stats();
-    std::printf("candidate cache: %.1f%% hit ratio (%llu hit(s), %llu miss(es)), "
-                "%llu invalidation(s), %llu eviction(s), %.1f MiB in %llu entries\n",
-                100.0 * cache_stats.hit_ratio(),
-                static_cast<unsigned long long>(cache_stats.hits),
-                static_cast<unsigned long long>(cache_stats.misses),
-                static_cast<unsigned long long>(cache_stats.invalidations),
-                static_cast<unsigned long long>(cache_stats.evictions),
-                static_cast<double>(cache_stats.bytes) / (1024.0 * 1024.0),
-                static_cast<unsigned long long>(cache_stats.entries));
+    std::printf("%s\n", tools::FormatCandidateCacheSummary(cache->stats()).c_str());
   }
   if (!trace_seconds.empty()) {
     RunningStats per_trace;
@@ -324,6 +331,15 @@ int main(int argc, char** argv) {
   bool metrics_ok = true;
   if (!common.metrics_out.empty() &&
       !tools::WriteMetricsSnapshot(common.metrics_out, common.metrics_format, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    metrics_ok = false;
+  }
+  if (audits_out != nullptr &&
+      !tools::WriteAuditJsonl(common.audit_out, loaded_paths, audits, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    metrics_ok = false;
+  }
+  if (!tools::FinishTraceSession(common, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     metrics_ok = false;
   }
