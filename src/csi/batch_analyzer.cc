@@ -34,6 +34,17 @@ void ResolveCandidateCache(InferenceConfig* config, const BatchConfig& batch) {
       static_cast<size_t>(batch.candidate_cache_mb) * 1024 * 1024);
 }
 
+// Same resolution for the analysis-prefix cache: caller-provided wins, 0 or
+// CSI_PREFIX_CACHE=off disables.
+void ResolvePrefixCache(InferenceConfig* config, const BatchConfig& batch) {
+  if (config->prefix_cache != nullptr || batch.prefix_cache_mb <= 0 ||
+      AnalysisPrefixCache::EnvForcesOff()) {
+    return;
+  }
+  config->prefix_cache = std::make_shared<AnalysisPrefixCache>(
+      static_cast<size_t>(batch.prefix_cache_mb) * 1024 * 1024);
+}
+
 }  // namespace
 
 InferenceEngine BatchAnalyzer::MakeEngine(const media::Manifest* manifest,
@@ -51,6 +62,7 @@ InferenceEngine BatchAnalyzer::MakeEngine(const media::Manifest* manifest,
     config.db_build_shards = batch.db_build_shards;
   }
   ResolveCandidateCache(&config, batch);
+  ResolvePrefixCache(&config, batch);
   return InferenceEngine(manifest, std::move(config));
 }
 
@@ -60,6 +72,7 @@ InferenceEngine BatchAnalyzer::MakeEngine(DbSnapshot snapshot, InferenceConfig c
     config.search_pool = pool;
   }
   ResolveCandidateCache(&config, batch);
+  ResolvePrefixCache(&config, batch);
   return InferenceEngine(std::move(snapshot), std::move(config));
 }
 

@@ -43,6 +43,13 @@ struct BatchConfig {
   // an explicit InferenceConfig::candidate_cache wins over this knob. Results
   // are byte-identical either way (candidate_cache_test).
   int candidate_cache_mb = 64;
+  // Byte budget (in MiB) for the shared analysis-prefix cache created when
+  // InferenceConfig::prefix_cache is null: repeats of the same trace bytes —
+  // within a batch, across batches, or across --follow-manifests refreshes —
+  // skip the per-packet stages. Snapshot-independent, so UpdateSnapshot never
+  // invalidates it. 0 disables; an explicit InferenceConfig::prefix_cache
+  // wins. Results are byte-identical either way (prefix_cache_test).
+  int prefix_cache_mb = 32;
   // Test seam / fault injection: when set, called instead of
   // InferenceEngine::Analyze for every trace.
   std::function<InferenceResult(const capture::CaptureTrace&)> analyze_override;
@@ -107,6 +114,11 @@ class BatchAnalyzer {
   // null when disabled. Stats reads are safe while a batch runs.
   const GroupCandidateCache* candidate_cache() const {
     return engine_.config().candidate_cache.get();
+  }
+  // The shared analysis-prefix cache (caller-provided or analyzer-created);
+  // null when disabled. Stats reads are safe while a batch runs.
+  const AnalysisPrefixCache* prefix_cache() const {
+    return engine_.config().prefix_cache.get();
   }
 
  private:

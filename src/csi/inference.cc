@@ -56,6 +56,12 @@ void InferenceEngine::FinishConfig() {
     config_.other_object_sizes.push_back(manifest_->SerializedSize() +
                                          config_.expected_fixed_overhead);
   }
+  if (config_.prefix_cache != nullptr) {
+    // Intern after the host-suffix default fill so two engines built from the
+    // same manifest share a context whether or not the suffix was explicit.
+    prefix_context_ = config_.prefix_cache->InternContext(
+        config_.design, config_.host_suffix, config_.splitter);
+  }
 }
 
 void InferenceEngine::UpdateSnapshot(DbSnapshot snapshot) {
@@ -113,6 +119,47 @@ void InferenceEngine::MergePhantomSplits(std::vector<EstimatedExchange>* exchang
   }
 }
 
+AnalysisPrefix InferenceEngine::ComputePrefix(const capture::CaptureTrace& trace) const {
+  AnalysisPrefix prefix;
+  std::vector<Flow> flows;
+  {
+    CSI_SPAN("flow_classify");
+    CSI_TRACE_SPAN("flow_classify", "stage");
+    flows = ClassifyMediaFlows(trace, config_.host_suffix);
+  }
+  prefix.media_flows = static_cast<int>(flows.size());
+  if (flows.empty()) {
+    return prefix;
+  }
+  // The player streams over one connection; if several media flows exist
+  // (e.g. probes), analyze the one carrying the bulk of the download.
+  auto main_flow = std::max_element(
+      flows.begin(), flows.end(),
+      [](const Flow& a, const Flow& b) { return a.downlink_bytes < b.downlink_bytes; });
+
+  if (config_.design == DesignType::kSQ) {
+    CSI_SPAN("traffic_split");
+    CSI_TRACE_SPAN("traffic_split", "stage");
+    prefix.groups = SplitIntoGroups(main_flow->packets, config_.splitter);
+  } else {
+    CSI_SPAN("size_estimate");
+    CSI_TRACE_SPAN("size_estimate", "stage");
+    for (const EstimatedExchange& ex :
+         EstimateExchanges(main_flow->packets, IsQuic(config_.design))) {
+      if (ex.carries_sni) {
+        // Handshake exchange (ClientHello / QUIC Initial): the data in its
+        // window is the server's handshake flight, not a media object.
+        continue;
+      }
+      prefix.exchanges.push_back(ex);
+    }
+    // Merge repair stays OUT of the prefix: MatchesSomething probes the
+    // database snapshot, so the repaired exchange list is snapshot-dependent
+    // while everything above this line is not.
+  }
+  return prefix;
+}
+
 InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
                                          const DisplayConstraints& display,
                                          InferenceAudit* audit) const {
@@ -121,25 +168,36 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
                       {"packets", static_cast<int64_t>(trace.size())});
   CSI_COUNTER_INC("csi_analyze_calls_total");
   const AuditScope audit_scope(audit);
-  std::vector<Flow> flows;
-  {
-    CSI_SPAN("flow_classify");
-    CSI_TRACE_SPAN("flow_classify", "stage");
-    flows = ClassifyMediaFlows(trace, config_.host_suffix);
+
+  // Consult the shared prefix cache before paying for the per-packet stages;
+  // on a miss, compute and publish so later repeats (this engine or any other
+  // sharing the cache) jump straight to the snapshot-dependent search.
+  AnalysisPrefixCache* const prefix_cache =
+      config_.prefix_cache != nullptr && !AnalysisPrefixCache::EnvForcesOff()
+          ? config_.prefix_cache.get()
+          : nullptr;
+  std::shared_ptr<const AnalysisPrefix> prefix;
+  AnalysisPrefixCache::Query prefix_query;
+  if (prefix_cache != nullptr) {
+    prefix_query = AnalysisPrefixCache::MakeQuery(trace, prefix_context_);
+    prefix = prefix_cache->Lookup(prefix_query);
   }
+  if (prefix == nullptr) {
+    auto computed = std::make_shared<AnalysisPrefix>(ComputePrefix(trace));
+    if (prefix_cache != nullptr) {
+      prefix_cache->Insert(prefix_query, computed);
+    }
+    prefix = std::move(computed);
+  }
+
   if (audit != nullptr) {
-    audit->media_flows = static_cast<int>(flows.size());
+    audit->media_flows = prefix->media_flows;
   }
-  if (flows.empty()) {
+  if (prefix->media_flows == 0) {
     CSI_COUNTER_INC("csi_analyze_no_media_flow_total");
     CSI_TRACE_INSTANT("analyze_no_media_flow", "stage");
     return {};
   }
-  // The player streams over one connection; if several media flows exist
-  // (e.g. probes), analyze the one carrying the bulk of the download.
-  auto main_flow = std::max_element(
-      flows.begin(), flows.end(),
-      [](const Flow& a, const Flow& b) { return a.downlink_bytes < b.downlink_bytes; });
 
   const bool quic = IsQuic(config_.design);
 
@@ -164,25 +222,15 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   }
 
   // Both cases reduce to the same layered search (Fig. 9): for transport MUX
-  // the layers are SP1/SP2 traffic groups; otherwise every exchange is its
-  // own single-request group.
-  std::vector<TrafficGroup> groups;
-  if (config_.design == DesignType::kSQ) {
-    CSI_SPAN("traffic_split");
-    CSI_TRACE_SPAN("traffic_split", "stage");
-    groups = SplitIntoGroups(main_flow->packets, config_.splitter);
-  } else {
-    CSI_SPAN("size_estimate");
-    CSI_TRACE_SPAN("size_estimate", "stage");
-    std::vector<EstimatedExchange> exchanges;
-    for (const EstimatedExchange& ex : EstimateExchanges(main_flow->packets, quic)) {
-      if (ex.carries_sni) {
-        // Handshake exchange (ClientHello / QUIC Initial): the data in its
-        // window is the server's handshake flight, not a media object.
-        continue;
-      }
-      exchanges.push_back(ex);
-    }
+  // the layers are SP1/SP2 traffic groups (already split in the prefix);
+  // otherwise every exchange becomes its own single-request group after the
+  // snapshot-dependent phantom-merge repair.
+  std::vector<TrafficGroup> local_groups;
+  // SQ reads the prefix's groups in place (no copy on a warm hit); the non-MUX
+  // designs rebuild single-request groups from the repaired exchange list.
+  const std::vector<TrafficGroup>* groups = &prefix->groups;
+  if (config_.design != DesignType::kSQ) {
+    std::vector<EstimatedExchange> exchanges = prefix->exchanges;
     if (quic && config_.enable_merge_repair) {
       MergePhantomSplits(&exchanges, group.k);
     }
@@ -194,16 +242,17 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
       g.start_time = ex.request_time;
       g.end_time = ex.last_data_time;
       g.estimated_total = ex.estimated_size;
-      groups.push_back(std::move(g));
+      local_groups.push_back(std::move(g));
     }
+    groups = &local_groups;
   }
   CSI_SPAN("group_search");
   CSI_TRACE_SPAN_ARGS("group_search", "stage",
-                      {"groups", static_cast<int64_t>(groups.size())});
+                      {"groups", static_cast<int64_t>(groups->size())});
   if (audit != nullptr) {
-    audit->groups = static_cast<int>(groups.size());
+    audit->groups = static_cast<int>(groups->size());
   }
-  InferenceResult result = SearchGroupSequences(groups, snapshot_, group, display);
+  InferenceResult result = SearchGroupSequences(*groups, snapshot_, group, display);
   if (audit != nullptr) {
     audit->sequences = static_cast<int>(result.sequences.size());
     audit->truncated = result.truncated;

@@ -18,6 +18,7 @@
 #include "src/csi/db_snapshot.h"
 #include "src/csi/group_search.h"
 #include "src/csi/path_search.h"
+#include "src/csi/prefix_cache.h"
 #include "src/csi/splitter.h"
 #include "src/csi/types.h"
 
@@ -61,6 +62,14 @@ struct InferenceConfig {
   // each other up. Results are byte-identical with or without it. Null: no
   // cross-trace caching.
   std::shared_ptr<GroupCandidateCache> candidate_cache;
+  // Optional shared analysis-prefix cache (see prefix_cache.h), consulted
+  // before the per-packet stages (flow classification, size estimation,
+  // traffic splitting). Keyed on a trace fingerprint + interned config
+  // context, and snapshot-independent: entries stay valid across
+  // UpdateSnapshot / LiveChunkDatabase publishes. Shared ownership like
+  // candidate_cache; results are byte-identical with or without it. Null: the
+  // prefix is recomputed per Analyze.
+  std::shared_ptr<AnalysisPrefixCache> prefix_cache;
 };
 
 class InferenceEngine {
@@ -99,6 +108,11 @@ class InferenceEngine {
  private:
   // Shared tail of both constructors: config defaults derived from manifest_.
   void FinishConfig();
+  // The snapshot-independent front of Analyze: flow classification plus — for
+  // the dominant media flow — SP1/SP2 traffic splitting (SQ) or SNI-filtered
+  // per-exchange size estimation (pre-merge-repair). A pure function of
+  // (trace, design, host_suffix, splitter); what the prefix cache memoizes.
+  AnalysisPrefix ComputePrefix(const capture::CaptureTrace& trace) const;
   // True if `estimate` satisfies Property (1) for some video chunk, audio
   // chunk, or known non-media object.
   bool MatchesSomething(Bytes estimate, double k) const;
@@ -108,6 +122,9 @@ class InferenceEngine {
   const media::Manifest* manifest_;
   InferenceConfig config_;
   DbSnapshot snapshot_;
+  // Interned prefix-cache context id for this engine's (design, host_suffix,
+  // splitter) triple; 0 when no prefix cache is attached.
+  uint32_t prefix_context_ = 0;
 };
 
 }  // namespace csi::infer

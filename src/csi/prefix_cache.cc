@@ -1,0 +1,252 @@
+#include "src/csi/prefix_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <utility>
+
+#include "src/common/telemetry.h"
+#include "src/common/tracing.h"
+
+namespace csi::infer {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+// The two independent mixes behind the 128-bit fingerprint: a word-granular
+// FNV-1a (lo) and the boost-style combine the candidate cache uses (hi). They
+// share no structure, so a collision requires both to collide on the same
+// field stream.
+inline uint64_t FnvStep(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
+inline uint64_t MixStep(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+// In-process override simulating CSI_PREFIX_CACHE=off (the real env read is
+// latched in a function-local static and cannot be flipped after first use).
+std::atomic<bool> g_force_env_off{false};
+
+}  // namespace
+
+TraceFingerprint FingerprintTrace(const capture::CaptureTrace& trace) {
+  uint64_t lo = kFnvOffset;
+  uint64_t hi = 0x9AE16A3B2F90404Full;  // arbitrary odd seed, distinct from lo
+  const auto absorb = [&lo, &hi](uint64_t v) {
+    lo = FnvStep(lo, v);
+    hi = MixStep(hi, v);
+  };
+  absorb(static_cast<uint64_t>(trace.size()));
+  for (const capture::PacketRecord& p : trace) {
+    absorb(static_cast<uint64_t>(p.timestamp));
+    // Pack the small fields into one word so short traces still stir both
+    // accumulators per packet instead of feeding runs of near-zero words.
+    absorb((static_cast<uint64_t>(p.client_port) << 48) |
+           (static_cast<uint64_t>(p.server_port) << 32) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(p.transport)) << 8) |
+           static_cast<uint64_t>(p.from_client ? 1 : 0));
+    absorb((static_cast<uint64_t>(p.client_ip) << 32) | static_cast<uint64_t>(p.server_ip));
+    absorb(static_cast<uint64_t>(p.payload));
+    absorb(static_cast<uint64_t>(p.wire_size));
+    absorb(p.tcp_seq);
+    absorb(p.tcp_ack);
+    absorb(p.quic_packet_number);
+    absorb(static_cast<uint64_t>(p.sni.size()));
+    for (const char c : p.sni) {
+      absorb(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+    }
+  }
+  return TraceFingerprint{lo, hi};
+}
+
+size_t AnalysisPrefixCache::QueryHash::operator()(const Query& q) const {
+  uint64_t h = q.fingerprint.lo;
+  h = MixStep(h, q.fingerprint.hi);
+  h = MixStep(h, q.context);
+  return static_cast<size_t>(h);
+}
+
+AnalysisPrefixCache::AnalysisPrefixCache(size_t budget_bytes, int shards)
+    : budget_bytes_(budget_bytes) {
+  const int n = std::max(shards, 1);
+  shard_budget_ = budget_bytes_ / static_cast<size_t>(n);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool AnalysisPrefixCache::IsOffValue(const std::string& value) {
+  return value == "off" || value == "OFF" || value == "0" || value == "none";
+}
+
+bool AnalysisPrefixCache::EnvForcesOff() {
+  static const bool off = [] {
+    const char* env = std::getenv("CSI_PREFIX_CACHE");
+    return env != nullptr && IsOffValue(env);
+  }();
+  return off || g_force_env_off.load(std::memory_order_relaxed);
+}
+
+void AnalysisPrefixCache::ForceEnvOffForTest(bool off) {
+  g_force_env_off.store(off, std::memory_order_relaxed);
+}
+
+uint32_t AnalysisPrefixCache::InternContext(DesignType design, const std::string& host_suffix,
+                                            const SplitterConfig& splitter) {
+  Context ctx;
+  ctx.design = design;
+  ctx.host_suffix = host_suffix;
+  // The splitter only runs for SQ, but interning it unconditionally is free
+  // and keeps the id a function of the full knob set.
+  ctx.splitter = splitter;
+
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    if (contexts_[i] == ctx) {
+      return static_cast<uint32_t>(i) + 1;
+    }
+  }
+  contexts_.push_back(std::move(ctx));
+  return static_cast<uint32_t>(contexts_.size());
+}
+
+AnalysisPrefixCache::Query AnalysisPrefixCache::MakeQuery(const capture::CaptureTrace& trace,
+                                                          uint32_t context) {
+  Query q;
+  q.fingerprint = FingerprintTrace(trace);
+  q.context = context;
+  return q;
+}
+
+AnalysisPrefixCache::Shard& AnalysisPrefixCache::ShardFor(const Query& query) {
+  const size_t h = QueryHash{}(query);
+  // The map consumes the low bits; pick the shard from the high ones.
+  return *shards_[(h >> 17) % shards_.size()];
+}
+
+size_t AnalysisPrefixCache::ApproxBytes(const AnalysisPrefix& prefix) {
+  size_t bytes = sizeof(Entry) + sizeof(AnalysisPrefix) +
+                 prefix.groups.capacity() * sizeof(TrafficGroup) +
+                 prefix.exchanges.capacity() * sizeof(EstimatedExchange);
+  for (const TrafficGroup& g : prefix.groups) {
+    bytes += g.requests.capacity() * sizeof(DetectedRequest);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const AnalysisPrefix> AnalysisPrefixCache::Lookup(const Query& query) {
+  if (EnvForcesOff()) {
+    return nullptr;
+  }
+  CSI_SPAN("prefix_cache_lookup");
+  CSI_TRACE_SPAN("prefix_cache_lookup", "cache");
+  Shard& shard = ShardFor(query);
+  std::shared_ptr<const AnalysisPrefix> hit;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(query);
+    if (it != shard.index.end()) {
+      it->second->referenced = true;
+      hit = it->second->prefix;
+    }
+  }
+  CSI_COUNTER_INC("csi_prefix_cache_lookups_total");
+  if (hit != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    CSI_COUNTER_INC("csi_prefix_cache_hits_total");
+    CSI_TRACE_INSTANT("prefix_cache", "cache", {"outcome", "hit"},
+                      {"reason", "fingerprint_match"});
+    return hit;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CSI_COUNTER_INC("csi_prefix_cache_misses_total");
+  CSI_TRACE_INSTANT("prefix_cache", "cache", {"outcome", "miss"}, {"reason", "absent"});
+  return nullptr;
+}
+
+void AnalysisPrefixCache::Insert(const Query& query,
+                                 std::shared_ptr<const AnalysisPrefix> prefix) {
+  if (EnvForcesOff() || prefix == nullptr) {
+    return;
+  }
+  Entry entry;
+  entry.query = query;
+  entry.bytes = ApproxBytes(*prefix);
+  entry.prefix = std::move(prefix);
+  if (entry.bytes > shard_budget_) {
+    return;  // would evict a whole shard and still not fit
+  }
+
+  size_t evicted = 0;
+  Shard& shard = ShardFor(query);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(query);
+    if (it != shard.index.end()) {
+      // A racing thread computed the same trace; values are deterministic, so
+      // either copy serves — keep the fresher one.
+      shard.bytes -= it->second->bytes;
+      shard.entries.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.bytes += entry.bytes;
+    shard.entries.push_back(std::move(entry));
+    shard.index.emplace(query, std::prev(shard.entries.end()));
+    while (shard.bytes > shard_budget_ && shard.entries.size() > 1) {
+      Entry& victim = shard.entries.front();
+      if (victim.referenced) {
+        victim.referenced = false;
+        shard.entries.splice(shard.entries.end(), shard.entries, shard.entries.begin());
+        shard.index[victim.query] = std::prev(shard.entries.end());
+        continue;
+      }
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.query);
+      shard.entries.pop_front();
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  CSI_COUNTER_INC("csi_prefix_cache_inserts_total");
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    CSI_COUNTER_ADD("csi_prefix_cache_evictions_total", static_cast<int64_t>(evicted));
+  }
+  // Per-shard drift between inserts is fine for a gauge; exact totals come
+  // from stats().
+  CSI_GAUGE_SET("csi_prefix_cache_bytes", static_cast<int64_t>(stats().bytes));
+}
+
+void AnalysisPrefixCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+AnalysisPrefixCache::Stats AnalysisPrefixCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.bytes += shard->bytes;
+    s.entries += shard->entries.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    s.contexts = contexts_.size();
+  }
+  return s;
+}
+
+}  // namespace csi::infer

@@ -1,0 +1,209 @@
+// Cross-session cache of the snapshot-independent analysis prefix.
+//
+// PR 6 moved the SQ group enumeration behind the shared candidate cache, and
+// since then the per-packet stages — flow classification, request/size
+// estimation and traffic splitting — dominate end-to-end batch time on clean
+// captures. Those stages read only the capture bytes and a handful of config
+// knobs; they never touch the chunk database. A `--follow-manifests` replay
+// or an overlapping batch therefore recomputes byte-identical flows, groups
+// and exchanges for every repeat of every trace.
+//
+// AnalysisPrefixCache is the amortization layer for that front of the
+// pipeline: a sharded, concurrent, byte-budgeted cache mapping
+//
+//   (128-bit trace fingerprint, interned classifier/splitter context)
+//
+// to the immutable `AnalysisPrefix` the per-packet stages produce. The
+// fingerprint hashes every observer-visible packet field (timing, addressing,
+// direction, sizes, sequence/packet numbers, SNI), so two captures share an
+// entry exactly when the inference input is bit-identical; the context
+// interns the knobs the prefix stages read (design, host suffix, splitter
+// thresholds) with full structural equality, never a lossy hash.
+//
+// Safety argument (simpler than the candidate cache's): the cached value is a
+// pure function of (capture bytes, context). No database state enters the
+// prefix computation — merge repair, which probes the snapshot, deliberately
+// stays *outside* the prefix (the cache stores pre-repair exchanges for the
+// non-MUX designs) — so entries are valid across every snapshot, epoch and
+// lineage forever; there is no invalidation, only eviction. Byte-identical
+// output cache-on vs cache-off follows by construction and is locked in by
+// tests/prefix_cache_test.cc.
+//
+// Hits return a shared_ptr to an immutable AnalysisPrefix — a warm Analyze
+// jumps straight to the snapshot-dependent candidate/graph search without
+// copying packet vectors. Eviction is per-shard second-chance (clock) over a
+// byte budget, mirroring GroupCandidateCache. Force-off escape hatch:
+// CSI_PREFIX_CACHE=off (mirrors CSI_CANDIDATE_CACHE=off) turns every lookup
+// into a miss and every insert into a no-op.
+
+#ifndef CSI_SRC_CSI_PREFIX_CACHE_H_
+#define CSI_SRC_CSI_PREFIX_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/capture/packet_record.h"
+#include "src/csi/splitter.h"
+#include "src/csi/types.h"
+
+namespace csi::infer {
+
+// Deterministic 128-bit digest of a capture trace. Two independent 64-bit
+// mixes over the same field stream: a single 64-bit FNV would make accidental
+// collisions plausible at deployment trace counts, 128 bits makes them
+// negligible. Pure integer arithmetic — identical on every platform.
+struct TraceFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const TraceFingerprint&, const TraceFingerprint&) = default;
+};
+
+TraceFingerprint FingerprintTrace(const capture::CaptureTrace& trace);
+
+// Immutable output of the snapshot-independent front of Analyze: flow
+// classification plus — for the dominant media flow — either the split
+// traffic groups (SQ) or the SNI-filtered estimated exchanges (CH/SH/CQ,
+// *before* merge repair, which consults the snapshot and stays per-call).
+// Shared by pointer between the cache and every engine that hits it.
+struct AnalysisPrefix {
+  // Number of media flows classified; 0 short-circuits Analyze to the empty
+  // result exactly like the uncached path.
+  int media_flows = 0;
+  // SQ only: traffic groups of the dominant flow (SP1/SP2 splitting).
+  std::vector<TrafficGroup> groups;
+  // Non-SQ designs: per-exchange size estimates of the dominant flow with
+  // handshake exchanges already filtered out.
+  std::vector<EstimatedExchange> exchanges;
+};
+
+class AnalysisPrefixCache {
+ public:
+  static constexpr int kDefaultShards = 16;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+    uint64_t contexts = 0;
+
+    uint64_t lookups() const { return hits + misses; }
+    double hit_ratio() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  struct Query {
+    TraceFingerprint fingerprint;
+    uint32_t context = 0;
+
+    friend bool operator==(const Query&, const Query&) = default;
+  };
+
+  explicit AnalysisPrefixCache(size_t budget_bytes, int shards = kDefaultShards);
+
+  AnalysisPrefixCache(const AnalysisPrefixCache&) = delete;
+  AnalysisPrefixCache& operator=(const AnalysisPrefixCache&) = delete;
+
+  // True when CSI_PREFIX_CACHE=off|OFF|0|none forces the cache out of the
+  // picture (environment checked once per process), or a test forced it via
+  // ForceEnvOffForTest. Engines treat the cache as absent; a constructed
+  // cache stays empty.
+  static bool EnvForcesOff();
+  // Recognizer behind the env override, exposed so tests can pin the accepted
+  // spellings without re-execing under a modified environment.
+  static bool IsOffValue(const std::string& value);
+  // Test seam simulating CSI_PREFIX_CACHE=off in-process (the real env read
+  // is cached in a static). Always reset to false before the test returns.
+  static void ForceEnvOffForTest(bool off);
+
+  // Interns the prefix-relevant subset of an inference config — design type,
+  // host suffix, splitter knobs — and returns a process-stable id (>= 1).
+  // Full structural equality, so two engines share an id only when every knob
+  // the prefix stages read is identical.
+  uint32_t InternContext(DesignType design, const std::string& host_suffix,
+                         const SplitterConfig& splitter);
+
+  // Fingerprints `trace` and assembles the key. O(packets), but pure
+  // arithmetic — far cheaper than the classify/split work a hit skips.
+  static Query MakeQuery(const capture::CaptureTrace& trace, uint32_t context);
+
+  // Returns the cached prefix, or null on a miss. Never blocks behind an
+  // insert on another shard; entries are valid under every database snapshot
+  // (see the safety argument above), so there is no revalidation step.
+  std::shared_ptr<const AnalysisPrefix> Lookup(const Query& query);
+
+  // Publishes a computed prefix. Replaces any existing entry for the key (a
+  // racing thread computed the same trace); values larger than a whole
+  // shard's budget are not admitted. No-op when the env forces the cache off.
+  void Insert(const Query& query, std::shared_ptr<const AnalysisPrefix> prefix);
+
+  // Drops every entry (stats survive). Test/bench seam for cold-start runs.
+  void Clear();
+
+  Stats stats() const;
+  size_t budget_bytes() const { return budget_bytes_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct QueryHash {
+    size_t operator()(const Query& q) const;
+  };
+
+  struct Entry {
+    Query query;
+    std::shared_ptr<const AnalysisPrefix> prefix;
+    size_t bytes = 0;
+    // Second-chance bit, guarded by the shard mutex.
+    bool referenced = false;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    // Clock order: front is next eviction victim; a referenced victim gets
+    // its bit cleared and one more trip to the back.
+    std::list<Entry> entries;
+    std::unordered_map<Query, std::list<Entry>::iterator, QueryHash> index;
+    size_t bytes = 0;
+  };
+
+  // The interned prefix-relevant context fields (see InternContext).
+  struct Context {
+    DesignType design = DesignType::kCH;
+    std::string host_suffix;
+    SplitterConfig splitter;
+
+    friend bool operator==(const Context&, const Context&) = default;
+  };
+
+  Shard& ShardFor(const Query& query);
+  static size_t ApproxBytes(const AnalysisPrefix& prefix);
+
+  size_t budget_bytes_ = 0;
+  size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex contexts_mu_;
+  std::vector<Context> contexts_;
+
+  // Lock-free tallies (bytes/entries live in the shards and are summed on
+  // demand).
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace csi::infer
+
+#endif  // CSI_SRC_CSI_PREFIX_CACHE_H_

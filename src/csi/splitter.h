@@ -28,6 +28,10 @@ struct SplitterConfig {
   // Ablation switches for the two split-point types.
   bool enable_sp1 = true;
   bool enable_sp2 = true;
+
+  // Structural equality: the prefix cache interns splitter configs and must
+  // never conflate two engines whose splits could differ.
+  friend bool operator==(const SplitterConfig&, const SplitterConfig&) = default;
 };
 
 struct TrafficGroup {

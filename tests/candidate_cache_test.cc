@@ -29,6 +29,8 @@
 #include "src/csi/live_database.h"
 #include "src/media/manifest.h"
 #include "src/testbed/experiment.h"
+#include "tests/inference_digest.h"
+#include "tests/test_env.h"
 
 namespace csi::infer {
 namespace {
@@ -208,7 +210,8 @@ void ExpectCacheOnMatchesOff(const std::vector<QueryCase>& cases, const DbSnapsh
 
 TEST(CandidateCacheDifferential, CacheOnMatchesCacheOffOn120Schedules) {
   ThreadPool pool(3);
-  for (uint64_t seed = 0; seed < 120; ++seed) {
+  const uint64_t schedules = testutil::ScheduleCount(120);
+  for (uint64_t seed = 0; seed < schedules; ++seed) {
     Rng rng(seed);
     std::vector<Bytes> palette;
     Manifest m = RandomUniformManifest(&rng, &palette);
@@ -525,6 +528,24 @@ TEST(CandidateCacheConcurrency, SharedCacheHammeredByReadersWhileRefreshing) {
 }
 
 // --- Batch-level identity and warm-start ----------------------------------
+
+// The shared multi-design golden digests must hold with the candidate cache
+// on and off — same constants inference_e2e_test locks, so a cache bug that
+// moves output is pinned to the cache, not the pipeline.
+TEST(CandidateCacheBatch, GoldenDigestsHoldWithCacheOnAndOff) {
+  for (const DesignType design :
+       {DesignType::kCH, DesignType::kSH, DesignType::kCQ, DesignType::kSQ}) {
+    infer::BatchConfig off;
+    off.threads = 4;
+    off.candidate_cache_mb = 0;
+    EXPECT_EQ(testutil::DigestResults(testutil::AnalyzeFixedBatch(design)),
+              testutil::GoldenBatchDigest(design))
+        << DesignTypeName(design) << " cache on";
+    EXPECT_EQ(testutil::DigestResults(testutil::AnalyzeFixedBatch(design, off)),
+              testutil::GoldenBatchDigest(design))
+        << DesignTypeName(design) << " cache off";
+  }
+}
 
 TEST(CandidateCacheBatch, SqBatchIdenticalWithCacheOnOffAndWarm) {
   using testbed::MakeAssetForDesign;

@@ -30,6 +30,7 @@
 #include "src/csi/chunk_database.h"
 #include "src/csi/db_snapshot.h"
 #include "src/media/manifest.h"
+#include "tests/test_env.h"
 
 namespace csi::infer {
 namespace {
@@ -117,7 +118,8 @@ void ExpectSameIndex(const ChunkDatabase& a, const ChunkDatabase& b,
 TEST(DbDifferentialTest, ShardedBuildMatchesSerialOn200RandomManifests) {
   ThreadPool pool(3);
   const int shard_counts[] = {1, 2, 7, pool.num_workers() + 1};
-  for (uint64_t seed = 0; seed < 200; ++seed) {
+  const uint64_t schedules = testutil::ScheduleCount(200);
+  for (uint64_t seed = 0; seed < schedules; ++seed) {
     Rng rng(seed);
     const Manifest m = RandomManifest(&rng);
     const ChunkDatabase serial(&m);

@@ -73,24 +73,51 @@ inline uint64_t DigestResults(const std::vector<infer::InferenceResult>& results
   return h;
 }
 
-// Golden digest of the fixed SQ batch below. Computed with all
-// instrumentation enabled; must match with telemetry/tracing
-// runtime-disabled and in -DCSI_TELEMETRY=OFF / -DCSI_TRACING=OFF
-// (compiled-out) builds — CI runs the invariance tests in each
-// configuration.
+// Golden digests of the fixed batches below, one per design type. Computed
+// with all instrumentation enabled; must match with telemetry/tracing
+// runtime-disabled, in -DCSI_TELEMETRY=OFF / -DCSI_TRACING=OFF (compiled-out)
+// builds, and with the candidate/prefix caches on, off, or env-disabled — CI
+// runs the invariance tests in each configuration.
+inline constexpr uint64_t kChBatchDigest = 0xd4a3acc8aa2025b6ull;
+inline constexpr uint64_t kShBatchDigest = 0xb3d468293556d2b8ull;
+inline constexpr uint64_t kCqBatchDigest = 0x29a194610a7aadffull;
 inline constexpr uint64_t kSqBatchDigest = 0x7d5e98917ed3562bull;
 
-inline std::vector<infer::InferenceResult> AnalyzeFixedSqBatch() {
+inline uint64_t GoldenBatchDigest(infer::DesignType design) {
+  switch (design) {
+    case infer::DesignType::kCH:
+      return kChBatchDigest;
+    case infer::DesignType::kSH:
+      return kShBatchDigest;
+    case infer::DesignType::kCQ:
+      return kCqBatchDigest;
+    case infer::DesignType::kSQ:
+      return kSqBatchDigest;
+  }
+  return 0;
+}
+
+// The fixed batch every invariance test analyzes: 4 deterministic synthetic
+// sessions of a 90 s single-asset manifest. `batch` lets cache/threading
+// tests vary the execution shape — the digest must not move for ANY such
+// shape (output is scheduling- and cache-independent by design).
+inline std::vector<infer::InferenceResult> AnalyzeFixedBatch(
+    infer::DesignType design, infer::BatchConfig batch = [] {
+      infer::BatchConfig b;
+      b.threads = 4;
+      return b;
+    }()) {
   const TimeUs duration = 90 * kUsPerSec;
-  const media::Manifest manifest =
-      testbed::MakeAssetForDesign(infer::DesignType::kSQ, 1, duration);
-  const auto traces = MakeBatch(manifest, infer::DesignType::kSQ, 4, duration);
+  const media::Manifest manifest = testbed::MakeAssetForDesign(design, 1, duration);
+  const auto traces = MakeBatch(manifest, design, 4, duration);
   infer::InferenceConfig config;
-  config.design = infer::DesignType::kSQ;
-  infer::BatchConfig batch;
-  batch.threads = 4;
+  config.design = design;
   infer::BatchAnalyzer analyzer(&manifest, config, batch);
   return analyzer.AnalyzeAll(traces);
+}
+
+inline std::vector<infer::InferenceResult> AnalyzeFixedSqBatch() {
+  return AnalyzeFixedBatch(infer::DesignType::kSQ);
 }
 
 }  // namespace csi::testutil

@@ -8,6 +8,7 @@
 #include "src/csi/inference.h"
 #include "src/csi/qoe.h"
 #include "src/testbed/experiment.h"
+#include "tests/inference_digest.h"
 
 namespace csi {
 namespace {
@@ -176,6 +177,26 @@ TEST(InferenceE2e, EmptyCaptureYieldsNoSequences) {
   const infer::InferenceEngine engine(&manifest, config);
   const auto result = engine.Analyze({});
   EXPECT_TRUE(result.sequences.empty());
+}
+
+// Multi-service golden digests: the shared fixed batch locked to one constant
+// per design path (CH/SH/CQ/SQ), not just SQ. The prefix-cache,
+// candidate-cache, telemetry, and tracing identity tests reuse the same
+// helpers, so any pipeline change that moves real inference output fails
+// loudly here first — and an instrumentation or caching change that moves it
+// fails THERE with the same constants.
+TEST(InferenceE2e, GoldenDigestsCoverAllDesignPaths) {
+  for (const DesignType design :
+       {DesignType::kCH, DesignType::kSH, DesignType::kCQ, DesignType::kSQ}) {
+    const auto results = testutil::AnalyzeFixedBatch(design);
+    EXPECT_EQ(testutil::DigestResults(results), testutil::GoldenBatchDigest(design))
+        << infer::DesignTypeName(design);
+    // A digest over empty output would lock in nothing; make sure the fixed
+    // batch actually infers sequences on every path.
+    for (const auto& r : results) {
+      EXPECT_FALSE(r.sequences.empty()) << infer::DesignTypeName(design);
+    }
+  }
 }
 
 TEST(InferenceE2e, ForeignTrafficIgnored) {

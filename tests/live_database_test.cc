@@ -29,6 +29,7 @@
 #include "src/csi/db_snapshot.h"
 #include "src/csi/live_database.h"
 #include "src/media/manifest.h"
+#include "tests/test_env.h"
 
 namespace csi::infer {
 namespace {
@@ -229,7 +230,8 @@ ManifestRefresh FixedRefresh(int tracks, int appended, Bytes base_size) {
 
 TEST(LiveDatabaseTest, IncrementalMatchesFullBuildOn120Schedules) {
   ThreadPool pool(3);
-  for (uint64_t seed = 0; seed < 120; ++seed) {
+  const uint64_t schedules = testutil::ScheduleCount(120);
+  for (uint64_t seed = 0; seed < schedules; ++seed) {
     Rng rng(seed);
     std::vector<Bytes> palette;
     Manifest m = RandomUniformManifest(&rng, &palette);

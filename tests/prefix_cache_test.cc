@@ -1,0 +1,576 @@
+// Differential replay harness for the analysis-prefix cache.
+//
+// The cache's contract is absolute: inference output is byte-identical with
+// the prefix cache on, off, and env-disabled, for every design path, capture
+// set, repeat schedule, and thread count — the cache may only change WHEN the
+// per-packet stages run, never what they produce. This suite locks that down
+// with seeded replay sweeps against cache-off references, fingerprint
+// stability/collision tests, a live-refresh replay (entries must survive
+// snapshot publishes — they are snapshot-independent), and a TSan'd hammer
+// where concurrent BatchAnalyzers share one cache while a LiveChunkDatabase
+// publishes refreshes under them.
+//
+// The seeded sweep honors CSI_TEST_SCHEDULES (tests/test_env.h): tier-1 CI
+// runs the fast default, the scheduled deep-differential job raises it.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/csi/batch_analyzer.h"
+#include "src/csi/live_database.h"
+#include "src/csi/prefix_cache.h"
+#include "src/testbed/experiment.h"
+#include "tests/inference_digest.h"
+#include "tests/test_env.h"
+
+namespace csi::infer {
+namespace {
+
+using testutil::AnalyzeFixedBatch;
+using testutil::DigestResults;
+using testutil::GoldenBatchDigest;
+using testutil::MakeBatch;
+
+// Restores the in-process env-off override no matter how the test exits.
+struct ForceEnvOffGuard {
+  ForceEnvOffGuard() { AnalysisPrefixCache::ForceEnvOffForTest(true); }
+  ~ForceEnvOffGuard() { AnalysisPrefixCache::ForceEnvOffForTest(false); }
+};
+
+capture::PacketRecord BasePacket() {
+  capture::PacketRecord p;
+  p.timestamp = 1000;
+  p.from_client = true;
+  p.transport = net::Transport::kUdp;
+  p.client_ip = 0x0a000001;
+  p.server_ip = 0xc0a80101;
+  p.client_port = 51000;
+  p.server_port = 443;
+  p.payload = 1200;
+  p.wire_size = 1242;
+  p.tcp_seq = 7;
+  p.tcp_ack = 9;
+  p.quic_packet_number = 3;
+  p.sni = "v.example.com";
+  return p;
+}
+
+// --- Fingerprint stability and sensitivity --------------------------------
+
+TEST(TraceFingerprint, DeterministicAcrossCalls) {
+  capture::CaptureTrace trace{BasePacket(), BasePacket(), BasePacket()};
+  trace[1].timestamp = 2000;
+  trace[2].timestamp = 3000;
+  const TraceFingerprint a = FingerprintTrace(trace);
+  const TraceFingerprint b = FingerprintTrace(trace);
+  EXPECT_EQ(a, b);
+  const capture::CaptureTrace copy = trace;
+  EXPECT_EQ(FingerprintTrace(copy), a);
+}
+
+TEST(TraceFingerprint, EveryObserverVisibleFieldPerturbsIt) {
+  const capture::CaptureTrace base{BasePacket()};
+  const TraceFingerprint ref = FingerprintTrace(base);
+
+  const auto mutated = [&](auto&& mutate) {
+    capture::CaptureTrace t = base;
+    mutate(t[0]);
+    return FingerprintTrace(t);
+  };
+  EXPECT_NE(mutated([](auto& p) { p.timestamp += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.from_client = false; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.transport = net::Transport::kTcp; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.client_ip += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.server_ip += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.client_port += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.server_port += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.payload += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.wire_size += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.tcp_seq += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.tcp_ack += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.quic_packet_number += 1; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.sni = "w.example.com"; }), ref);
+  EXPECT_NE(mutated([](auto& p) { p.sni.clear(); }), ref);
+
+  // Packet count and order matter too.
+  capture::CaptureTrace two{BasePacket(), BasePacket()};
+  EXPECT_NE(FingerprintTrace(two), ref);
+  capture::CaptureTrace empty;
+  EXPECT_NE(FingerprintTrace(empty), ref);
+}
+
+TEST(TraceFingerprint, NoCollisionsAcrossRandomTraces) {
+  // 500 random traces; a collision needs both independent 64-bit mixes to
+  // collide at once, so any duplicate here is a real mixing bug.
+  Rng rng(7);
+  std::vector<TraceFingerprint> seen;
+  for (int t = 0; t < 500; ++t) {
+    capture::CaptureTrace trace;
+    const int packets = rng.UniformInt(1, 40);
+    TimeUs now = 0;
+    for (int i = 0; i < packets; ++i) {
+      capture::PacketRecord p = BasePacket();
+      now += rng.UniformInt(1, 50000);
+      p.timestamp = now;
+      p.from_client = rng.Chance(0.5);
+      p.payload = rng.UniformInt(0, 1500);
+      p.wire_size = p.payload + 42;
+      p.quic_packet_number = static_cast<uint64_t>(i);
+      if (i == 0) {
+        p.sni = "s" + std::to_string(rng.UniformInt(0, 1 << 20)) + ".example.com";
+      } else {
+        p.sni.clear();
+      }
+      trace.push_back(p);
+    }
+    const TraceFingerprint fp = FingerprintTrace(trace);
+    for (const TraceFingerprint& other : seen) {
+      ASSERT_FALSE(fp == other) << "collision at trace " << t;
+    }
+    seen.push_back(fp);
+  }
+}
+
+// --- Cache mechanics -------------------------------------------------------
+
+TEST(AnalysisPrefixCache, InternContextDistinguishesEveryKnob) {
+  AnalysisPrefixCache cache(1 << 20);
+  SplitterConfig splitter;
+  const uint32_t base = cache.InternContext(DesignType::kSQ, "a.example.com", splitter);
+  EXPECT_GE(base, 1u);
+  EXPECT_EQ(cache.InternContext(DesignType::kSQ, "a.example.com", splitter), base);
+
+  EXPECT_NE(cache.InternContext(DesignType::kCQ, "a.example.com", splitter), base);
+  EXPECT_NE(cache.InternContext(DesignType::kSQ, "b.example.com", splitter), base);
+  SplitterConfig idle = splitter;
+  idle.idle_threshold += 1;
+  EXPECT_NE(cache.InternContext(DesignType::kSQ, "a.example.com", idle), base);
+  SplitterConfig window = splitter;
+  window.simultaneity_window += 1;
+  EXPECT_NE(cache.InternContext(DesignType::kSQ, "a.example.com", window), base);
+  SplitterConfig sp1 = splitter;
+  sp1.enable_sp1 = false;
+  EXPECT_NE(cache.InternContext(DesignType::kSQ, "a.example.com", sp1), base);
+  SplitterConfig sp2 = splitter;
+  sp2.enable_sp2 = false;
+  EXPECT_NE(cache.InternContext(DesignType::kSQ, "a.example.com", sp2), base);
+  EXPECT_EQ(cache.stats().contexts, 7u);
+}
+
+TEST(AnalysisPrefixCache, LookupInsertClearRoundTrip) {
+  if (AnalysisPrefixCache::EnvForcesOff()) {
+    GTEST_SKIP() << "CSI_PREFIX_CACHE=off in the environment";
+  }
+  AnalysisPrefixCache cache(1 << 20);
+  const capture::CaptureTrace trace{BasePacket()};
+  const auto query = AnalysisPrefixCache::MakeQuery(trace, 1);
+
+  EXPECT_EQ(cache.Lookup(query), nullptr);
+  auto value = std::make_shared<AnalysisPrefix>();
+  value->media_flows = 1;
+  cache.Insert(query, value);
+  const auto hit = cache.Lookup(query);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), value.get());  // shared, not copied
+
+  // Same fingerprint under another context is a different key.
+  auto other = query;
+  other.context = 2;
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup(query), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(AnalysisPrefixCache, EvictionKeepsBytesUnderTinyBudget) {
+  if (AnalysisPrefixCache::EnvForcesOff()) {
+    GTEST_SKIP() << "CSI_PREFIX_CACHE=off in the environment";
+  }
+  // Budget small enough that a few entries overflow each shard; the clock
+  // sweep must keep per-shard bytes bounded and count evictions.
+  AnalysisPrefixCache cache(4096, 2);
+  const capture::CaptureTrace trace{BasePacket()};
+  for (int i = 0; i < 64; ++i) {
+    auto value = std::make_shared<AnalysisPrefix>();
+    value->media_flows = 1;
+    value->exchanges.resize(8);
+    capture::CaptureTrace t = trace;
+    t[0].timestamp = 1000 + i;
+    cache.Insert(AnalysisPrefixCache::MakeQuery(t, 1), std::move(value));
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 4096u);
+  EXPECT_GT(stats.entries, 0u);
+
+  // A value bigger than a whole shard is refused outright.
+  auto huge = std::make_shared<AnalysisPrefix>();
+  huge->exchanges.resize(4096);
+  const auto huge_query = AnalysisPrefixCache::MakeQuery(trace, 9);
+  cache.Insert(huge_query, huge);
+  EXPECT_EQ(cache.Lookup(huge_query), nullptr);
+}
+
+TEST(AnalysisPrefixCache, OffValueSpellings) {
+  EXPECT_TRUE(AnalysisPrefixCache::IsOffValue("off"));
+  EXPECT_TRUE(AnalysisPrefixCache::IsOffValue("OFF"));
+  EXPECT_TRUE(AnalysisPrefixCache::IsOffValue("0"));
+  EXPECT_TRUE(AnalysisPrefixCache::IsOffValue("none"));
+  EXPECT_FALSE(AnalysisPrefixCache::IsOffValue("on"));
+  EXPECT_FALSE(AnalysisPrefixCache::IsOffValue(""));
+  EXPECT_FALSE(AnalysisPrefixCache::IsOffValue("1"));
+}
+
+// --- Differential replay: on vs off vs env-disabled ------------------------
+
+std::vector<capture::CaptureTrace> SeededCaptureSet(const media::Manifest& manifest,
+                                                    DesignType design, int unique) {
+  auto traces = MakeBatch(manifest, design, unique, 60 * kUsPerSec);
+  // Duplicates are the cache's bread and butter: re-analyzing the same bytes
+  // must hit, and hit output must equal recomputed output.
+  const size_t n = traces.size();
+  for (size_t i = 0; i < n; ++i) {
+    traces.push_back(traces[i]);
+  }
+  return traces;
+}
+
+TEST(PrefixCacheDifferential, CacheOnOffEnvDisabledByteIdenticalAcrossSchedules) {
+  // Capture sets (per design) × repeat schedules × thread counts. Tier-1 runs
+  // the default; CSI_TEST_SCHEDULES raises the repeat sweep for the deep job.
+  const int max_repeats = static_cast<int>(std::min<uint64_t>(
+      3 + (testutil::ScheduleCount(0) / 50), 16));
+  for (const DesignType design : {DesignType::kSQ, DesignType::kCH, DesignType::kCQ}) {
+    const media::Manifest manifest =
+        testbed::MakeAssetForDesign(design, 1, 60 * kUsPerSec);
+    const auto traces = SeededCaptureSet(manifest, design, 3);
+    const std::string ctx = DesignTypeName(design);
+
+    // Reference: both caches off, serial.
+    InferenceConfig config;
+    config.design = design;
+    BatchConfig off;
+    off.threads = 1;
+    off.candidate_cache_mb = 0;
+    off.prefix_cache_mb = 0;
+    BatchAnalyzer reference(&manifest, config, off);
+    const auto expected = reference.AnalyzeAll(traces);
+    EXPECT_EQ(reference.prefix_cache(), nullptr);
+
+    for (const int threads : {1, 3}) {
+      for (int repeats = 1; repeats <= max_repeats; ++repeats) {
+        BatchConfig on;
+        on.threads = threads;
+        BatchAnalyzer analyzer(&manifest, config, on);
+        for (int r = 0; r < repeats; ++r) {
+          const auto got = analyzer.AnalyzeAll(traces);
+          ASSERT_EQ(got.size(), expected.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i], expected[i])
+                << ctx << " threads=" << threads << " repeat " << r << " trace " << i;
+          }
+        }
+        if (!AnalysisPrefixCache::EnvForcesOff()) {
+          ASSERT_NE(analyzer.prefix_cache(), nullptr);
+          const auto stats = analyzer.prefix_cache()->stats();
+          // Serial passes must hit on the duplicated back half of the set; a
+          // single concurrent pass may legitimately race dup pairs to
+          // all-miss, but any second pass runs against a fully warm cache.
+          if (threads == 1 || repeats >= 2) {
+            EXPECT_GT(stats.hits, 0u) << ctx << " threads=" << threads
+                                      << " repeats=" << repeats;
+          }
+          EXPECT_LE(stats.misses,
+                    static_cast<uint64_t>(traces.size()) *
+                        static_cast<uint64_t>(threads))
+              << ctx;
+        }
+      }
+    }
+
+    // Env-disabled: the engine must bypass an attached cache entirely and
+    // still produce identical bytes.
+    {
+      const ForceEnvOffGuard guard;
+      InferenceConfig forced = config;
+      forced.prefix_cache = std::make_shared<AnalysisPrefixCache>(32 << 20);
+      BatchConfig on;
+      on.threads = 3;
+      BatchAnalyzer analyzer(&manifest, forced, on);
+      const auto got = analyzer.AnalyzeAll(traces);
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], expected[i]) << ctx << " env-disabled trace " << i;
+      }
+      const auto stats = forced.prefix_cache->stats();
+      EXPECT_EQ(stats.lookups(), 0u) << ctx;
+      EXPECT_EQ(stats.inserts, 0u) << ctx;
+      EXPECT_EQ(stats.entries, 0u) << ctx;
+    }
+  }
+}
+
+TEST(PrefixCacheDifferential, GoldenDigestsHoldOnOffAndEnvDisabled) {
+  for (const DesignType design :
+       {DesignType::kCH, DesignType::kSH, DesignType::kCQ, DesignType::kSQ}) {
+    BatchConfig off;
+    off.threads = 4;
+    off.prefix_cache_mb = 0;
+    EXPECT_EQ(DigestResults(AnalyzeFixedBatch(design)), GoldenBatchDigest(design))
+        << DesignTypeName(design) << " prefix cache on";
+    EXPECT_EQ(DigestResults(AnalyzeFixedBatch(design, off)), GoldenBatchDigest(design))
+        << DesignTypeName(design) << " prefix cache off";
+    {
+      const ForceEnvOffGuard guard;
+      EXPECT_EQ(DigestResults(AnalyzeFixedBatch(design)), GoldenBatchDigest(design))
+          << DesignTypeName(design) << " prefix cache env-disabled";
+    }
+  }
+}
+
+TEST(PrefixCacheSharing, WarmHitsAcrossEnginesAndBatches) {
+  const media::Manifest manifest =
+      testbed::MakeAssetForDesign(DesignType::kSQ, 1, 60 * kUsPerSec);
+  const auto traces = MakeBatch(manifest, DesignType::kSQ, 2, 60 * kUsPerSec);
+  auto shared = std::make_shared<AnalysisPrefixCache>(32 << 20);
+
+  InferenceConfig config;
+  config.design = DesignType::kSQ;
+  config.prefix_cache = shared;
+  BatchConfig batch;
+  batch.threads = 2;
+
+  BatchAnalyzer first(&manifest, config, batch);
+  const auto expected = first.AnalyzeAll(traces);
+  if (AnalysisPrefixCache::EnvForcesOff()) {
+    GTEST_SKIP() << "CSI_PREFIX_CACHE=off in the environment";
+  }
+  const auto cold = shared->stats();
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, static_cast<uint64_t>(traces.size()));
+
+  // A different analyzer over the same bytes starts fully warm: every lookup
+  // hits, zero new inserts — cross-session sharing, same bytes out.
+  BatchAnalyzer second(&manifest, config, batch);
+  const auto warm = second.AnalyzeAll(traces);
+  for (size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i], expected[i]) << "trace " << i;
+  }
+  const auto stats = shared->stats();
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(traces.size()));
+  EXPECT_EQ(stats.inserts, cold.inserts);
+}
+
+// --- Live-refresh replay: entries survive snapshot publishes ----------------
+
+// Appends the back half of `full` to `live` in `steps` refreshes.
+std::vector<ManifestRefresh> TailRefreshes(const media::Manifest& full, int start_positions,
+                                           int steps) {
+  std::vector<ManifestRefresh> refreshes;
+  const int tail = full.num_positions() - start_positions;
+  for (int r = 0; r < steps; ++r) {
+    const int lo = start_positions + tail * r / steps;
+    const int hi = start_positions + tail * (r + 1) / steps;
+    ManifestRefresh refresh;
+    refresh.video_appends.resize(full.video_tracks.size());
+    for (size_t t = 0; t < full.video_tracks.size(); ++t) {
+      const auto& chunks = full.video_tracks[t].chunks;
+      refresh.video_appends[t].assign(chunks.begin() + lo, chunks.begin() + hi);
+    }
+    refreshes.push_back(std::move(refresh));
+  }
+  return refreshes;
+}
+
+media::Manifest PrefixManifest(const media::Manifest& full, int positions) {
+  media::Manifest prefix = full;
+  for (auto& track : prefix.video_tracks) {
+    track.chunks.resize(static_cast<size_t>(positions));
+  }
+  for (auto& track : prefix.audio_tracks) {
+    track.chunks.resize(std::min(track.chunks.size(), static_cast<size_t>(positions)));
+  }
+  return prefix;
+}
+
+TEST(PrefixCacheLiveReplay, EntriesSurviveRefreshesAndStayByteIdentical) {
+  if (AnalysisPrefixCache::EnvForcesOff()) {
+    GTEST_SKIP() << "CSI_PREFIX_CACHE=off in the environment";
+  }
+  const TimeUs duration = 60 * kUsPerSec;
+  const media::Manifest full =
+      testbed::MakeAssetForDesign(DesignType::kSQ, 1, duration);
+  const auto traces = MakeBatch(full, DesignType::kSQ, 3, duration);
+  const int start_positions = std::max(1, full.num_positions() / 2);
+  const auto refreshes = TailRefreshes(full, start_positions, 3);
+  ASSERT_FALSE(refreshes.empty());
+
+  LiveChunkDatabase live(PrefixManifest(full, start_positions), {});
+
+  // Pin the config knobs that would otherwise be derived from the growing
+  // manifest (same discipline as csi_batch --follow-manifests).
+  InferenceConfig config;
+  config.design = DesignType::kSQ;
+  config.host_suffix = full.host;
+  config.other_object_sizes.push_back(full.SerializedSize() +
+                                      config.expected_fixed_overhead);
+  auto shared = std::make_shared<AnalysisPrefixCache>(32 << 20);
+  config.prefix_cache = shared;
+  BatchConfig batch;
+  batch.threads = 2;
+  BatchAnalyzer analyzer(live.Acquire(), config, batch);
+
+  InferenceConfig no_cache = config;
+  no_cache.prefix_cache = nullptr;
+  BatchConfig off;
+  off.threads = 1;
+  off.candidate_cache_mb = 0;
+  off.prefix_cache_mb = 0;
+
+  uint64_t hits_before = 0;
+  for (size_t round = 0; round <= refreshes.size(); ++round) {
+    if (round > 0) {
+      live.ApplyRefresh(refreshes[round - 1]);
+    }
+    const DbSnapshot snapshot = live.Acquire();
+    analyzer.UpdateSnapshot(snapshot);
+    const auto got = analyzer.AnalyzeAll(traces);
+    // Reference at the same snapshot, caches off.
+    BatchAnalyzer reference(snapshot, no_cache, off);
+    const auto expected = reference.AnalyzeAll(traces);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i]) << "round " << round << " trace " << i;
+    }
+    const auto stats = shared->stats();
+    if (round == 0) {
+      EXPECT_EQ(stats.hits, 0u);
+      hits_before = stats.hits;
+    } else {
+      // The prefix is snapshot-independent: every round after the first runs
+      // fully warm even though the database grew underneath.
+      EXPECT_EQ(stats.hits, hits_before + static_cast<uint64_t>(traces.size()))
+          << "round " << round;
+      hits_before = stats.hits;
+      EXPECT_EQ(stats.misses, static_cast<uint64_t>(traces.size()));
+    }
+  }
+  live.WaitForCompaction();
+}
+
+// --- TSan hammer: concurrent batches, shared cache, live publishes ----------
+
+TEST(PrefixCacheHammer, ConcurrentBatchesSharedCacheUnderLivePublishes) {
+  const TimeUs duration = 45 * kUsPerSec;
+  const media::Manifest full =
+      testbed::MakeAssetForDesign(DesignType::kSQ, 1, duration);
+  const auto traces = MakeBatch(full, DesignType::kSQ, 3, duration);
+  const int start_positions = std::max(1, full.num_positions() / 2);
+  const auto refreshes = TailRefreshes(full, start_positions, 6);
+
+  LiveChunkDatabase live(PrefixManifest(full, start_positions), {});
+
+  InferenceConfig config;
+  config.design = DesignType::kSQ;
+  config.host_suffix = full.host;
+  config.other_object_sizes.push_back(full.SerializedSize() +
+                                      config.expected_fixed_overhead);
+  auto shared = std::make_shared<AnalysisPrefixCache>(32 << 20);
+  config.prefix_cache = shared;
+
+  constexpr int kWorkers = 2;
+  constexpr int kRounds = 4;
+  // Every (worker, round) records the snapshot it analyzed against plus its
+  // results, so the serial reference below can replay the exact state.
+  struct Recorded {
+    DbSnapshot snapshot;
+    std::vector<InferenceResult> results;
+  };
+  std::vector<std::vector<Recorded>> recorded(kWorkers);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        BatchConfig batch;
+        batch.threads = 2;
+        BatchAnalyzer analyzer(live.Acquire(), config, batch);
+        for (int r = 0; r < kRounds; ++r) {
+          DbSnapshot snapshot = live.Acquire();
+          analyzer.UpdateSnapshot(snapshot);
+          auto results = analyzer.AnalyzeAll(traces);
+          recorded[static_cast<size_t>(w)].push_back(
+              Recorded{std::move(snapshot), std::move(results)});
+        }
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  std::thread publisher([&] {
+    for (const ManifestRefresh& refresh : refreshes) {
+      live.ApplyRefresh(refresh);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  publisher.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Serial reference per recorded snapshot, all caches off: the concurrent
+  // results must be byte-identical per index.
+  InferenceConfig no_cache = config;
+  no_cache.prefix_cache = nullptr;
+  BatchConfig off;
+  off.threads = 1;
+  off.candidate_cache_mb = 0;
+  off.prefix_cache_mb = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    ASSERT_EQ(recorded[static_cast<size_t>(w)].size(), static_cast<size_t>(kRounds));
+    for (int r = 0; r < kRounds; ++r) {
+      const Recorded& rec = recorded[static_cast<size_t>(w)][static_cast<size_t>(r)];
+      BatchAnalyzer reference(rec.snapshot, no_cache, off);
+      const auto expected = reference.AnalyzeAll(traces);
+      ASSERT_EQ(rec.results.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(rec.results[i], expected[i])
+            << "worker " << w << " round " << r << " trace " << i;
+      }
+    }
+  }
+  live.WaitForCompaction();
+}
+
+// --- Batch knob plumbing ----------------------------------------------------
+
+TEST(PrefixCacheBatchConfig, ZeroBudgetDisablesTheCache) {
+  const media::Manifest manifest =
+      testbed::MakeAssetForDesign(DesignType::kCH, 1, 60 * kUsPerSec);
+  InferenceConfig config;
+  config.design = DesignType::kCH;
+  BatchConfig batch;
+  batch.prefix_cache_mb = 0;
+  batch.threads = 1;
+  BatchAnalyzer analyzer(&manifest, config, batch);
+  EXPECT_EQ(analyzer.prefix_cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace csi::infer

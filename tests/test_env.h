@@ -1,0 +1,34 @@
+// Environment-tunable knobs for the differential test suites.
+//
+// The seeded schedule loops (db_differential_test, live_database_test,
+// candidate_cache_test, prefix_cache_test) default to counts that keep tier-1
+// CI fast; the scheduled deep-differential CI job raises CSI_TEST_SCHEDULES
+// (e.g. to 500) to sweep far more seeds on the same binaries.
+
+#ifndef CSI_TESTS_TEST_ENV_H_
+#define CSI_TESTS_TEST_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace csi::testutil {
+
+// The per-suite schedule count: CSI_TEST_SCHEDULES when set to a positive
+// integer, `default_count` otherwise (including on malformed values — a typo
+// must not silently shrink coverage to zero).
+inline uint64_t ScheduleCount(uint64_t default_count) {
+  const char* env = std::getenv("CSI_TEST_SCHEDULES");
+  if (env == nullptr || *env == '\0') {
+    return default_count;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || value == 0) {
+    return default_count;
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace csi::testutil
+
+#endif  // CSI_TESTS_TEST_ENV_H_

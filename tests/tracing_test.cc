@@ -228,12 +228,20 @@ TEST(Tracing, ChromeTraceJsonGolden) {
 // with -DCSI_TRACING=OFF) compiled out — this test runs unchanged in every
 // configuration.
 TEST(TracingInvariance, ResultsByteIdenticalOnVsOffVsCompiledOut) {
-  trace::TraceSession::Global().Start({});
-  const auto with_tracing = AnalyzeFixedSqBatch();
-  trace::TraceSession::Global().Stop();
-  const auto without_tracing = AnalyzeFixedSqBatch();
-  EXPECT_EQ(DigestResults(with_tracing), kSqBatchDigest);
-  EXPECT_EQ(DigestResults(without_tracing), kSqBatchDigest);
+  // All four design paths, not just SQ: the CH/SH/CQ pipelines emit their own
+  // span/instant mix (size_estimate instead of traffic_split, merge repair),
+  // and each must be inert too.
+  for (const DesignType design :
+       {DesignType::kCH, DesignType::kSH, DesignType::kCQ, DesignType::kSQ}) {
+    trace::TraceSession::Global().Start({});
+    const auto with_tracing = testutil::AnalyzeFixedBatch(design);
+    trace::TraceSession::Global().Stop();
+    const auto without_tracing = testutil::AnalyzeFixedBatch(design);
+    EXPECT_EQ(DigestResults(with_tracing), testutil::GoldenBatchDigest(design))
+        << infer::DesignTypeName(design);
+    EXPECT_EQ(DigestResults(without_tracing), testutil::GoldenBatchDigest(design))
+        << infer::DesignTypeName(design);
+  }
 }
 
 TEST(Audit, CollectionIsInertAndPopulatesPerTraceRecords) {

@@ -12,10 +12,23 @@ Checks (beyond `python3 -m json.tool` well-formedness):
     is not later than any 't'/'f' with the same id, and every 't'/'f' has a
     matching 's'.
 
+Prefix-cache telemetry checks on the same trace file:
+  * every 'i' instant named "prefix_cache" carries args with an outcome of
+    "hit" or "miss" plus a non-empty reason string;
+  * the number of those instants equals the number of 'B' events for the
+    "prefix_cache_lookup" span — every lookup explains itself exactly once.
+
 Optionally validates an --audit JSONL file: one JSON object per line, each
 with the per-trace audit fields the inference engine records.
 
-Usage: check_trace.py TRACE_JSON [--audit AUDIT_JSONL]
+Optionally validates one or more --metrics JSON exports (csi_batch
+--metrics-out --metrics-format json). Per file, the prefix-cache counters
+must be internally consistent (lookups == hits + misses, inserts <= misses,
+evictions <= inserts). Across files given in order, every
+csi_prefix_cache_*_total counter must be monotonically non-decreasing — the
+order should match the order the exports were produced in.
+
+Usage: check_trace.py TRACE_JSON [--audit AUDIT_JSONL] [--metrics JSON ...]
 Exits non-zero with a message on the first violation.
 """
 
@@ -52,6 +65,8 @@ def check_trace(path):
     depth = {}  # tid -> open 'B' count
     flow_starts = {}  # flow id -> ts of 's'
     flow_steps = []  # (id, ts, phase) for 't'/'f'
+    prefix_lookups = 0  # 'B' events of the prefix_cache_lookup span
+    prefix_instants = 0  # 'i' events named prefix_cache
     for i, ev in enumerate(events):
         where = f"{path}: event {i}"
         for key, types in (
@@ -89,6 +104,21 @@ def check_trace(path):
                 flow_steps.append((ev["id"], ev["ts"], ph, i))
         if "args" in ev and not isinstance(ev["args"], dict):
             fail(f"{where}: args must be an object")
+        if ph == "B" and ev["name"] == "prefix_cache_lookup":
+            prefix_lookups += 1
+        if ph == "i" and ev["name"] == "prefix_cache":
+            prefix_instants += 1
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                fail(f"{where}: prefix_cache instant without args")
+            if args.get("outcome") not in ("hit", "miss"):
+                fail(
+                    f"{where}: prefix_cache outcome must be 'hit' or 'miss', "
+                    f"got {args.get('outcome')!r}"
+                )
+            reason = args.get("reason")
+            if not isinstance(reason, str) or not reason:
+                fail(f"{where}: prefix_cache instant missing a reason string")
 
     for fid, ts, ph, i in flow_steps:
         if fid not in flow_starts:
@@ -96,11 +126,19 @@ def check_trace(path):
         if ts < flow_starts[fid]:
             fail(f"{path}: event {i}: flow '{ph}' id {fid} precedes its 's'")
 
+    if prefix_instants != prefix_lookups:
+        fail(
+            f"{path}: {prefix_lookups} prefix_cache_lookup span(s) but "
+            f"{prefix_instants} prefix_cache instant(s) — every lookup must "
+            f"explain its outcome exactly once"
+        )
+
     open_spans = sum(depth.values())
     n_flows = len(flow_starts)
     print(
         f"check_trace: OK: {len(events)} events, {n_flows} flow(s), "
-        f"{open_spans} trailing open span(s)"
+        f"{open_spans} trailing open span(s), "
+        f"{prefix_lookups} prefix-cache lookup(s)"
     )
 
 
@@ -126,14 +164,79 @@ def check_audit(path):
     print(f"check_trace: OK: {n} audit record(s)")
 
 
+PREFIX_COUNTERS = (
+    "csi_prefix_cache_lookups_total",
+    "csi_prefix_cache_hits_total",
+    "csi_prefix_cache_misses_total",
+    "csi_prefix_cache_inserts_total",
+    "csi_prefix_cache_evictions_total",
+)
+
+
+def load_counters(path):
+    with open(path, encoding="utf-8") as fp:
+        doc = json.load(fp)
+    if not isinstance(doc, dict) or "counters" not in doc:
+        fail(f"{path}: metrics export must be an object with a counters list")
+    counters = {}
+    for c in doc["counters"]:
+        if not isinstance(c, dict) or "name" not in c or "value" not in c:
+            fail(f"{path}: malformed counter entry {c!r}")
+        counters[c["name"]] = c["value"]
+    return counters
+
+
+def check_metrics(paths):
+    previous = None
+    prev_path = None
+    for path in paths:
+        counters = load_counters(path)
+        # Absent counters read as 0: a cache-off run legitimately exports none.
+        lookups = counters.get("csi_prefix_cache_lookups_total", 0)
+        hits = counters.get("csi_prefix_cache_hits_total", 0)
+        misses = counters.get("csi_prefix_cache_misses_total", 0)
+        inserts = counters.get("csi_prefix_cache_inserts_total", 0)
+        evictions = counters.get("csi_prefix_cache_evictions_total", 0)
+        if hits + misses != lookups:
+            fail(
+                f"{path}: prefix-cache lookups ({lookups}) != hits ({hits}) "
+                f"+ misses ({misses})"
+            )
+        if inserts > misses:
+            fail(f"{path}: prefix-cache inserts ({inserts}) > misses ({misses})")
+        if evictions > inserts:
+            fail(f"{path}: prefix-cache evictions ({evictions}) > inserts ({inserts})")
+        if previous is not None:
+            for name in PREFIX_COUNTERS:
+                before = previous.get(name, 0)
+                after = counters.get(name, 0)
+                if after < before:
+                    fail(
+                        f"{path}: counter {name} went backwards "
+                        f"({before} in {prev_path} -> {after})"
+                    )
+        previous = counters
+        prev_path = path
+    print(f"check_trace: OK: {len(paths)} metrics export(s) consistent")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace-event JSON file")
     parser.add_argument("--audit", help="audit JSONL file to validate too")
+    parser.add_argument(
+        "--metrics",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="metrics JSON export(s), in production order; repeatable",
+    )
     args = parser.parse_args()
     check_trace(args.trace)
     if args.audit:
         check_audit(args.audit)
+    if args.metrics:
+        check_metrics(args.metrics)
 
 
 if __name__ == "__main__":

@@ -105,6 +105,8 @@ void CommonOptions::Register(FlagParser* parser) {
   parser->AddInt("--db-build-threads", &db_build_threads);
   parser->AddInt("--candidate-cache-mb", &candidate_cache_mb);
   parser->AddString("--candidate-cache", &candidate_cache);
+  parser->AddInt("--prefix-cache-mb", &prefix_cache_mb);
+  parser->AddString("--prefix-cache", &prefix_cache);
   parser->AddString("--trace-out", &trace_out);
   parser->AddString("--trace-mode", &trace_mode);
   parser->AddString("--audit-out", &audit_out);
@@ -148,6 +150,18 @@ bool CommonOptions::Validate(std::string* error) const {
     }
     return false;
   }
+  if (prefix_cache_mb < 0) {
+    if (error != nullptr) {
+      *error = "--prefix-cache-mb must be >= 0";
+    }
+    return false;
+  }
+  if (prefix_cache != "on" && prefix_cache != "off") {
+    if (error != nullptr) {
+      *error = "--prefix-cache must be on or off";
+    }
+    return false;
+  }
   if (trace_mode != "full" && trace_mode != "flight") {
     if (error != nullptr) {
       *error = "--trace-mode must be full or flight";
@@ -159,6 +173,10 @@ bool CommonOptions::Validate(std::string* error) const {
 
 int CommonOptions::candidate_cache_budget_mb() const {
   return candidate_cache == "off" ? 0 : candidate_cache_mb;
+}
+
+int CommonOptions::prefix_cache_budget_mb() const {
+  return prefix_cache == "off" ? 0 : prefix_cache_mb;
 }
 
 infer::DesignType CommonOptions::design() const {
@@ -246,6 +264,70 @@ std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats&
                 static_cast<unsigned long long>(stats.evictions),
                 static_cast<double>(stats.bytes) / (1024.0 * 1024.0),
                 static_cast<unsigned long long>(stats.entries));
+  return buf;
+}
+
+std::string FormatPrefixCacheSummary(const infer::AnalysisPrefixCache::Stats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "prefix cache: %.1f%% hit ratio (%llu hit(s), %llu miss(es)), "
+                "%llu eviction(s), %.1f MiB in %llu entries",
+                100.0 * stats.hit_ratio(), static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions),
+                static_cast<double>(stats.bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(stats.entries));
+  return buf;
+}
+
+std::string FormatStageBreakdown(const telemetry::MetricsSnapshot& snapshot) {
+  // Pull per-stage wall-clock sums out of the span histogram. Stage names are
+  // the CSI_SPAN sites in src/csi; anything unlisted lands in "other" so new
+  // spans never silently vanish from the breakdown.
+  double per_packet = 0.0;  // flow_classify + traffic_split + size_estimate
+  double search = 0.0;      // group_search (candidate + graph layers)
+  double cache_lookup = 0.0;
+  double analyze = 0.0;
+  double other = 0.0;
+  bool any = false;
+  for (const telemetry::HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name != "csi_stage_duration_seconds" || h.labels.empty() ||
+        h.labels[0].first != "stage") {
+      continue;
+    }
+    const std::string& stage = h.labels[0].second;
+    if (stage == "analyze") {
+      // The envelope span, not a component: it brackets everything below.
+      analyze += h.sum;
+      any = true;
+      continue;
+    }
+    any = true;
+    if (stage == "flow_classify" || stage == "traffic_split" || stage == "size_estimate") {
+      per_packet += h.sum;
+    } else if (stage == "group_search") {
+      search += h.sum;
+    } else if (stage == "group_cache_lookup" || stage == "prefix_cache_lookup") {
+      cache_lookup += h.sum;
+    } else {
+      other += h.sum;
+    }
+  }
+  if (!any) {
+    return std::string();
+  }
+  const auto pct = [analyze](double v) {
+    return analyze > 0.0 ? 100.0 * v / analyze : 0.0;
+  };
+  // "other" can include stages outside the analyze envelope (db build,
+  // exports), so the components are reported against analyze, not summed to
+  // it.
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "stage timing: analyze %.3fs; per-packet %.3fs (%.1f%%); "
+                "search %.3fs (%.1f%%); cache lookup %.3fs (%.1f%%); other stages %.3fs",
+                analyze, per_packet, pct(per_packet), search, pct(search), cache_lookup,
+                pct(cache_lookup), other);
   return buf;
 }
 

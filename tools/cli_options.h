@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "src/common/telemetry.h"
 #include "src/csi/audit.h"
 #include "src/csi/candidate_cache.h"
+#include "src/csi/prefix_cache.h"
 #include "src/csi/types.h"
 
 namespace csi::tools {
@@ -65,6 +67,11 @@ struct CommonOptions {
   // "on" (default) or "off"; off wins over --candidate-cache-mb. The
   // CSI_CANDIDATE_CACHE=off environment override beats both.
   std::string candidate_cache = "on";
+  // Byte budget (MiB) for the shared analysis-prefix cache; 0 disables it.
+  int prefix_cache_mb = 32;
+  // "on" (default) or "off"; off wins over --prefix-cache-mb. The
+  // CSI_PREFIX_CACHE=off environment override beats both.
+  std::string prefix_cache = "on";
   // Structured-trace output (Chrome trace-event JSON, Perfetto-loadable);
   // empty leaves tracing off entirely.
   std::string trace_out;
@@ -77,7 +84,8 @@ struct CommonOptions {
 
   // Registers --manifest, --design, --host, --metrics-out, --metrics-format,
   // --db-build-threads, --candidate-cache-mb, --candidate-cache,
-  // --trace-out, --trace-mode, --audit-out.
+  // --prefix-cache-mb, --prefix-cache, --trace-out, --trace-mode,
+  // --audit-out.
   void Register(FlagParser* parser);
   // Returns false and fills *error when required flags are missing or values
   // are out of range. Call after Parse().
@@ -87,6 +95,8 @@ struct CommonOptions {
   // The effective cache budget in MiB after combining both cache flags
   // (0 when disabled). Only valid after Validate() passed.
   int candidate_cache_budget_mb() const;
+  // Same combination for the analysis-prefix cache flags.
+  int prefix_cache_budget_mb() const;
 };
 
 // Parses CH|SH|CQ|SQ into *out; false on anything else.
@@ -116,6 +126,19 @@ bool FinishTraceSession(const CommonOptions& options, std::string* error);
 // The one-line candidate-cache summary the tools print (hit ratio, traffic
 // counts, occupancy). No trailing newline.
 std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats& stats);
+
+// The one-line analysis-prefix-cache summary (hit ratio, traffic counts,
+// occupancy). No trailing newline.
+std::string FormatPrefixCacheSummary(const infer::AnalysisPrefixCache::Stats& stats);
+
+// Per-stage timing breakdown from the csi_stage_duration_seconds span
+// histograms in `snapshot`: per-packet stages (flow_classify, traffic_split,
+// size_estimate) vs. the candidate/graph search (group_search), plus cache
+// lookup overhead — so the prefix-cache win is visible straight from the
+// csi_batch summary, no trace viewer needed. Empty string when the snapshot
+// carries no stage histograms (e.g. telemetry compiled out). No trailing
+// newline.
+std::string FormatStageBreakdown(const telemetry::MetricsSnapshot& snapshot);
 
 // Writes audits[i] as a JSON line labeled labels[i] (falling back to the
 // index when labels run short); false with *error on failure.

@@ -5,6 +5,7 @@
 //               [--host suffix] [--max-sequences N] [--report sequence|qoe|both]
 //               [--db-build-threads N]
 //               [--candidate-cache-mb N] [--candidate-cache on|off]
+//               [--prefix-cache-mb N] [--prefix-cache on|off]
 //               [--metrics-out FILE] [--metrics-format json|prom]
 //               [--trace-out FILE] [--trace-mode full|flight] [--audit-out FILE]
 //
@@ -38,6 +39,7 @@ namespace {
                "                   [--host SUFFIX] [--max-sequences N]\n"
                "                   [--report sequence|qoe|both] [--db-build-threads N]\n"
                "                   [--candidate-cache-mb N] [--candidate-cache on|off]\n"
+               "                   [--prefix-cache-mb N] [--prefix-cache on|off]\n"
                "                   [--metrics-out FILE] [--metrics-format json|prom]\n"
                "                   [--trace-out FILE] [--trace-mode full|flight]\n"
                "                   [--audit-out FILE]\n");
@@ -103,6 +105,13 @@ int main(int argc, char** argv) {
     config.candidate_cache = std::make_shared<infer::GroupCandidateCache>(
         static_cast<size_t>(cache_mb) * 1024 * 1024);
   }
+  // One trace means at most one prefix entry, but attaching the cache keeps
+  // the lookup metrics and trace instants exercised on the single-shot tool.
+  if (const int cache_mb = common.prefix_cache_budget_mb();
+      cache_mb > 0 && !infer::AnalysisPrefixCache::EnvForcesOff()) {
+    config.prefix_cache = std::make_shared<infer::AnalysisPrefixCache>(
+        static_cast<size_t>(cache_mb) * 1024 * 1024);
+  }
   const infer::InferenceEngine engine(&manifest, config);
   infer::InferenceAudit audit;
   infer::InferenceResult result;
@@ -136,6 +145,10 @@ int main(int argc, char** argv) {
   if (config.candidate_cache != nullptr) {
     std::printf("%s\n",
                 tools::FormatCandidateCacheSummary(config.candidate_cache->stats()).c_str());
+  }
+  if (config.prefix_cache != nullptr) {
+    std::printf("%s\n",
+                tools::FormatPrefixCacheSummary(config.prefix_cache->stats()).c_str());
   }
   std::printf("\n");
   if (result.sequences.empty()) {

@@ -6,6 +6,7 @@
 //             [--host SUFFIX] [--quiet]
 //             [--follow-manifests N] [--db-compact-after N]
 //             [--candidate-cache-mb N] [--candidate-cache on|off]
+//             [--prefix-cache-mb N] [--prefix-cache on|off]
 //             [--metrics-out FILE] [--metrics-format json|prom]
 //             [--trace-out FILE] [--trace-mode full|flight] [--audit-out FILE]
 //
@@ -57,6 +58,7 @@ namespace {
                "                 [--host SUFFIX] [--quiet]\n"
                "                 [--follow-manifests N] [--db-compact-after N]\n"
                "                 [--candidate-cache-mb N] [--candidate-cache on|off]\n"
+               "                 [--prefix-cache-mb N] [--prefix-cache on|off]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
                "                 [--trace-out FILE] [--trace-mode full|flight]\n"
                "                 [--audit-out FILE]\n"
@@ -74,6 +76,11 @@ namespace {
                "                         traces and refreshes (default 64; 0 disables)\n"
                "  --candidate-cache on|off\n"
                "                         force the candidate cache off regardless of budget\n"
+               "                         (results are byte-identical either way)\n"
+               "  --prefix-cache-mb N    byte budget (MiB) for the shared analysis-prefix\n"
+               "                         cache memoizing the per-packet stages across\n"
+               "                         repeats and refreshes (default 32; 0 disables)\n"
+               "  --prefix-cache on|off  force the prefix cache off regardless of budget\n"
                "                         (results are byte-identical either way)\n"
                "  --trace-out FILE       record a structured event trace; full mode writes\n"
                "                         Chrome trace-event JSON (Perfetto-loadable) at exit\n"
@@ -223,6 +230,7 @@ int main(int argc, char** argv) {
   batch.threads = threads;
   batch.db_build_shards = common.db_build_threads;
   batch.candidate_cache_mb = common.candidate_cache_budget_mb();
+  batch.prefix_cache_mb = common.prefix_cache_budget_mb();
   if (!quiet) {
     batch.progress = [](size_t done, size_t total_traces) {
       std::fprintf(stderr, "  ...%zu/%zu traces\n", done, total_traces);
@@ -317,6 +325,16 @@ int main(int argc, char** argv) {
   }
   if (const infer::GroupCandidateCache* cache = analyzer->candidate_cache()) {
     std::printf("%s\n", tools::FormatCandidateCacheSummary(cache->stats()).c_str());
+  }
+  if (const infer::AnalysisPrefixCache* cache = analyzer->prefix_cache()) {
+    std::printf("%s\n", tools::FormatPrefixCacheSummary(cache->stats()).c_str());
+  }
+  {
+    const std::string breakdown =
+        tools::FormatStageBreakdown(telemetry::MetricsRegistry::Global().Snapshot());
+    if (!breakdown.empty()) {
+      std::printf("%s\n", breakdown.c_str());
+    }
   }
   if (!trace_seconds.empty()) {
     RunningStats per_trace;
