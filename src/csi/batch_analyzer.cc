@@ -23,26 +23,44 @@ int ResolveThreads(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-// Creates the batch-wide shared candidate cache unless the caller brought
-// their own, disabled it (candidate_cache_mb == 0), or the env forces it off.
-void ResolveCandidateCache(InferenceConfig* config, const BatchConfig& batch) {
-  if (config->candidate_cache != nullptr || batch.candidate_cache_mb <= 0 ||
-      GroupCandidateCache::EnvForcesOff()) {
-    return;
-  }
-  config->candidate_cache = std::make_shared<GroupCandidateCache>(
-      static_cast<size_t>(batch.candidate_cache_mb) * 1024 * 1024);
+// A tier's budget: the deprecated per-tier alias wins when set (>= 0, with 0
+// still meaning "disabled"); otherwise the unified CacheOptions decides.
+int ResolveBudgetMb(int legacy_mb, const CacheOptions& options) {
+  return legacy_mb >= 0 ? legacy_mb : options.effective_budget_mb();
 }
 
-// Same resolution for the analysis-prefix cache: caller-provided wins, 0 or
-// CSI_PREFIX_CACHE=off disables.
-void ResolvePrefixCache(InferenceConfig* config, const BatchConfig& batch) {
-  if (config->prefix_cache != nullptr || batch.prefix_cache_mb <= 0 ||
-      AnalysisPrefixCache::EnvForcesOff()) {
+// Creates the batch-wide shared candidate cache unless the caller brought
+// their own (either config spelling), disabled the tier, or the env forces it
+// off.
+void ResolveCandidateCache(InferenceConfig* config, const BatchConfig& batch) {
+  const int budget_mb = ResolveBudgetMb(batch.candidate_cache_mb, batch.caches.candidate);
+  if (config->candidate_cache != nullptr || config->caches.candidate != nullptr ||
+      budget_mb <= 0 || GroupCandidateCache::EnvForcesOff()) {
     return;
   }
-  config->prefix_cache = std::make_shared<AnalysisPrefixCache>(
-      static_cast<size_t>(batch.prefix_cache_mb) * 1024 * 1024);
+  config->candidate_cache =
+      std::make_shared<GroupCandidateCache>(static_cast<size_t>(budget_mb) * 1024 * 1024);
+}
+
+// Same resolution for the analysis-prefix cache.
+void ResolvePrefixCache(InferenceConfig* config, const BatchConfig& batch) {
+  const int budget_mb = ResolveBudgetMb(batch.prefix_cache_mb, batch.caches.prefix);
+  if (config->prefix_cache != nullptr || config->caches.prefix != nullptr ||
+      budget_mb <= 0 || AnalysisPrefixCache::EnvForcesOff()) {
+    return;
+  }
+  config->prefix_cache =
+      std::make_shared<AnalysisPrefixCache>(static_cast<size_t>(budget_mb) * 1024 * 1024);
+}
+
+// Same resolution for the whole-result cache (no legacy alias).
+void ResolveResultCache(InferenceConfig* config, const BatchConfig& batch) {
+  const int budget_mb = batch.caches.result.effective_budget_mb();
+  if (config->caches.result != nullptr || budget_mb <= 0 || ResultCache::EnvForcesOff()) {
+    return;
+  }
+  config->caches.result =
+      std::make_shared<ResultCache>(static_cast<size_t>(budget_mb) * 1024 * 1024);
 }
 
 }  // namespace
@@ -63,6 +81,7 @@ InferenceEngine BatchAnalyzer::MakeEngine(const media::Manifest* manifest,
   }
   ResolveCandidateCache(&config, batch);
   ResolvePrefixCache(&config, batch);
+  ResolveResultCache(&config, batch);
   return InferenceEngine(manifest, std::move(config));
 }
 
@@ -73,6 +92,7 @@ InferenceEngine BatchAnalyzer::MakeEngine(DbSnapshot snapshot, InferenceConfig c
   }
   ResolveCandidateCache(&config, batch);
   ResolvePrefixCache(&config, batch);
+  ResolveResultCache(&config, batch);
   return InferenceEngine(std::move(snapshot), std::move(config));
 }
 

@@ -36,20 +36,30 @@ struct BatchConfig {
   // pool; 0 = one shard per worker plus the caller, 1 = serial build. The
   // index is byte-identical for every value (db_differential_test).
   int db_build_shards = 0;
-  // Byte budget (in MiB) for the shared group-candidate cache created when
-  // InferenceConfig::candidate_cache is null: every trace of every batch run
-  // through this analyzer shares it, so repeated group signatures across
-  // traces (and across --follow-manifests refreshes) warm-start. 0 disables;
-  // an explicit InferenceConfig::candidate_cache wins over this knob. Results
-  // are byte-identical either way (candidate_cache_test).
-  int candidate_cache_mb = 64;
-  // Byte budget (in MiB) for the shared analysis-prefix cache created when
-  // InferenceConfig::prefix_cache is null: repeats of the same trace bytes —
-  // within a batch, across batches, or across --follow-manifests refreshes —
-  // skip the per-packet stages. Snapshot-independent, so UpdateSnapshot never
-  // invalidates it. 0 disables; an explicit InferenceConfig::prefix_cache
-  // wins. Results are byte-identical either way (prefix_cache_test).
-  int prefix_cache_mb = 32;
+  // Unified per-tier knobs for the shared caches this analyzer creates when
+  // the matching InferenceConfig cache pointer is null (an explicit pointer
+  // always wins). One CacheOptions (cache_common.h) per tier:
+  //  * prefix    — analysis-prefix cache (prefix_cache.h): repeats of the
+  //    same trace bytes skip the per-packet stages. Snapshot-independent.
+  //  * candidate — group-candidate cache (candidate_cache.h): repeated group
+  //    signatures across traces and refreshes skip enumeration.
+  //  * result    — whole-result cache (result_cache.h): a repeat of the same
+  //    trace under the same (or a provably-equivalent) snapshot state skips
+  //    the entire pipeline.
+  // `enabled = false` or `budget_mb = 0` disables a tier. Results are
+  // byte-identical with any subset enabled (prefix_cache_test,
+  // candidate_cache_test, result_cache_test).
+  struct Caches {
+    CacheOptions prefix{/*budget_mb=*/32};
+    CacheOptions candidate{/*budget_mb=*/64};
+    CacheOptions result{/*budget_mb=*/64};
+  };
+  Caches caches;
+  // Deprecated aliases of caches.candidate.budget_mb / caches.prefix.budget_mb,
+  // kept for source compatibility: a non-negative value wins over the unified
+  // block (0 still disables); the -1 default defers to `caches`.
+  int candidate_cache_mb = -1;
+  int prefix_cache_mb = -1;
   // Test seam / fault injection: when set, called instead of
   // InferenceEngine::Analyze for every trace.
   std::function<InferenceResult(const capture::CaptureTrace&)> analyze_override;
@@ -120,6 +130,9 @@ class BatchAnalyzer {
   const AnalysisPrefixCache* prefix_cache() const {
     return engine_.config().prefix_cache.get();
   }
+  // The shared whole-result cache (caller-provided or analyzer-created); null
+  // when disabled. Stats reads are safe while a batch runs.
+  const ResultCache* result_cache() const { return engine_.config().caches.result.get(); }
 
  private:
   // Both constructors funnel through these: they patch `config` with the

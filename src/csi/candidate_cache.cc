@@ -14,15 +14,15 @@ namespace csi::infer {
 
 namespace {
 
-// Same per-start DFS budget floor as group_search.cc's enumeration; the
-// growth-range revalidation leans on budgets flooring identically at both
-// states.
-constexpr int64_t kPerStartNodeFloor = 1 << 16;
-
 uint64_t Mix(uint64_t h, uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
   return h;
 }
+
+// In-process override simulating CSI_CANDIDATE_CACHE=off (the real env read
+// is latched in a function-local static and cannot be flipped after first
+// use).
+std::atomic<bool> g_force_env_off{false};
 
 }  // namespace
 
@@ -37,25 +37,22 @@ size_t GroupCandidateCache::QueryHash::operator()(const Query& q) const {
 }
 
 GroupCandidateCache::GroupCandidateCache(size_t budget_bytes, int shards)
-    : budget_bytes_(budget_bytes) {
-  const int n = std::max(shards, 1);
-  shard_budget_ = budget_bytes_ / static_cast<size_t>(n);
-  shards_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
+    : store_(budget_bytes, shards) {}
+
+bool GroupCandidateCache::IsOffValue(const std::string& value) {
+  return CacheOffSpelling(value);
 }
 
 bool GroupCandidateCache::EnvForcesOff() {
   static const bool off = [] {
     const char* env = std::getenv("CSI_CANDIDATE_CACHE");
-    if (env == nullptr) {
-      return false;
-    }
-    const std::string value(env);
-    return value == "off" || value == "OFF" || value == "0" || value == "none";
+    return (env != nullptr && IsOffValue(env)) || CsiCacheEnvDisables("candidate");
   }();
-  return off;
+  return off || g_force_env_off.load(std::memory_order_relaxed);
+}
+
+void GroupCandidateCache::ForceEnvOffForTest(bool off) {
+  g_force_env_off.store(off, std::memory_order_relaxed);
 }
 
 uint32_t GroupCandidateCache::InternContext(const GroupSearchConfig& config,
@@ -102,12 +99,6 @@ GroupCandidateCache::Query GroupCandidateCache::MakeQuery(const DbSnapshot& db,
   // as fixed.
   q.start_hi = start_hi >= db.num_positions() - 1 ? kOpenHi : start_hi;
   return q;
-}
-
-GroupCandidateCache::Shard& GroupCandidateCache::ShardFor(const Query& query) {
-  const size_t h = QueryHash{}(query);
-  // The map consumes the low bits; pick the shard from the high ones.
-  return *shards_[(h >> 17) % shards_.size()];
 }
 
 // Decides whether `entry` (computed at state A := entry.state_id with
@@ -202,12 +193,13 @@ size_t GroupCandidateCache::ApproxBytes(const GroupCandidateSet& set) {
 }
 
 std::shared_ptr<const GroupCandidateSet> GroupCandidateCache::Lookup(
-    const Query& query, const DbSnapshot& db, const GroupSearchConfig& config) {
+    const Query& query, const DbSnapshot& db, const GroupSearchConfig& config,
+    CandidateSetHull* hull_out) {
   if (EnvForcesOff()) {
     return nullptr;
   }
   CSI_SPAN("group_cache_lookup");
-  Shard& shard = ShardFor(query);
+  auto& shard = store_.ShardFor(query);
   std::shared_ptr<const GroupCandidateSet> hit;
   [[maybe_unused]] bool found = false;
   bool same_state = false;
@@ -223,6 +215,9 @@ std::shared_ptr<const GroupCandidateSet> GroupCandidateCache::Lookup(
       if (Revalidate(entry, db, config)) {
         entry.referenced = true;
         hit = entry.set;
+        if (hull_out != nullptr) {
+          *hull_out = entry.hull;
+        }
       } else if (db.num_positions() > entry.positions_at) {
         // Provably unusable under every state from here on (appends intersect
         // its windows, or a compaction hid them): drop it now instead of
@@ -285,57 +280,21 @@ void GroupCandidateCache::Insert(const Query& query, const DbSnapshot& db,
   entry.hull = hull;
   entry.bytes = ApproxBytes(*set);
   entry.set = std::move(set);
-  if (entry.bytes > shard_budget_) {
-    return;  // would evict a whole shard and still not fit
-  }
-
-  size_t evicted = 0;
-  Shard& shard = ShardFor(query);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(query);
-    if (it != shard.index.end()) {
-      // Replace in place (a racing thread recomputed the same key, or a
-      // fresher state supersedes a stale entry).
-      shard.bytes -= it->second->bytes;
-      shard.entries.erase(it->second);
-      shard.index.erase(it);
-    }
-    shard.bytes += entry.bytes;
-    shard.entries.push_back(std::move(entry));
-    shard.index.emplace(query, std::prev(shard.entries.end()));
-    while (shard.bytes > shard_budget_ && shard.entries.size() > 1) {
-      Entry& victim = shard.entries.front();
-      if (victim.referenced) {
-        victim.referenced = false;
-        shard.entries.splice(shard.entries.end(), shard.entries, shard.entries.begin());
-        shard.index[victim.query] = std::prev(shard.entries.end());
-        continue;
-      }
-      shard.bytes -= victim.bytes;
-      shard.index.erase(victim.query);
-      shard.entries.pop_front();
-      ++evicted;
-    }
+  const int64_t evicted = store_.InsertAndEvict(std::move(entry));
+  if (evicted < 0) {
+    return;  // bigger than a whole shard's budget; refused
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   if (evicted > 0) {
-    evictions_.fetch_add(evicted, std::memory_order_relaxed);
-    CSI_COUNTER_ADD("csi_group_cache_evictions_total", static_cast<int64_t>(evicted));
+    evictions_.fetch_add(static_cast<uint64_t>(evicted), std::memory_order_relaxed);
+    CSI_COUNTER_ADD("csi_group_cache_evictions_total", evicted);
   }
   // Per-shard drift between publishes is fine for a gauge; exact totals come
   // from stats().
   CSI_GAUGE_SET("csi_group_cache_bytes", static_cast<int64_t>(stats().bytes));
 }
 
-void GroupCandidateCache::Clear() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->entries.clear();
-    shard->index.clear();
-    shard->bytes = 0;
-  }
-}
+void GroupCandidateCache::Clear() { store_.Clear(); }
 
 GroupCandidateCache::Stats GroupCandidateCache::stats() const {
   Stats s;
@@ -344,11 +303,7 @@ GroupCandidateCache::Stats GroupCandidateCache::stats() const {
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    s.bytes += shard->bytes;
-    s.entries += shard->entries.size();
-  }
+  store_.AccumulateShards(&s);
   {
     std::lock_guard<std::mutex> lock(contexts_mu_);
     s.contexts = contexts_.size();

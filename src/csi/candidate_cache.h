@@ -33,10 +33,11 @@
 //
 // Hits return a shared_ptr to an immutable GroupCandidateSet — readers never
 // copy candidate vectors and never block behind a publish. Eviction is
-// per-shard second-chance (clock) over a byte budget; an entry's cost is the
-// heap footprint of its candidate vectors. Force-off escape hatch:
-// CSI_CANDIDATE_CACHE=off (mirrors CSI_SIMD=off) turns every lookup into a
-// miss and every insert into a no-op, for A/B runs and bypass-path CI.
+// per-shard second-chance (clock) over a byte budget via the shared
+// ShardedClockStore (cache_common.h); an entry's cost is the heap footprint
+// of its candidate vectors. Force-off escape hatches: CSI_CANDIDATE_CACHE=off
+// or the unified CSI_CACHE=candidate:off turn every lookup into a miss and
+// every insert into a no-op, for A/B runs and bypass-path CI.
 
 #ifndef CSI_SRC_CSI_CANDIDATE_CACHE_H_
 #define CSI_SRC_CSI_CANDIDATE_CACHE_H_
@@ -44,13 +45,13 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/csi/cache_common.h"
 #include "src/csi/db_snapshot.h"
 #include "src/csi/group_search.h"
 #include "src/csi/path_search.h"
@@ -94,24 +95,13 @@ class GroupCandidateCache {
   // sentinel, so chain-root ranges hit across refreshes that move the edge.
   static constexpr int kOpenHi = std::numeric_limits<int>::max();
   static constexpr int kDefaultShards = 16;
+  // Per-start DFS budget floor, mirroring group_search.cc's enumeration. The
+  // growth-range revalidation (here and in the result cache) leans on budgets
+  // flooring identically at both states.
+  static constexpr int64_t kPerStartNodeFloor = 1 << 16;
 
-  struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
-    // Entries dropped because a newer state's appends (or a compaction that
-    // hid them) could have changed their output.
-    uint64_t invalidations = 0;
-    uint64_t bytes = 0;
-    uint64_t entries = 0;
-    uint64_t contexts = 0;
-
-    double hit_ratio() const {
-      const uint64_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
-    }
-  };
+  // Unified stats block shared by every cache tier (cache_common.h).
+  using Stats = CacheStats;
 
   // Everything a cache key needs. Build one with MakeQuery so the start range
   // is canonicalized consistently.
@@ -131,10 +121,19 @@ class GroupCandidateCache {
   GroupCandidateCache(const GroupCandidateCache&) = delete;
   GroupCandidateCache& operator=(const GroupCandidateCache&) = delete;
 
-  // True when CSI_CANDIDATE_CACHE=off|OFF|0|none forces the cache out of the
-  // picture (checked once per process). Enumeration treats the cache as
-  // absent; a constructed cache stays empty.
+  // True when CSI_CANDIDATE_CACHE=off|OFF|0|none or the unified
+  // CSI_CACHE=candidate:off override forces the cache out of the picture
+  // (environment checked once per process), or a test forced it via
+  // ForceEnvOffForTest. Enumeration treats the cache as absent; a constructed
+  // cache stays empty.
   static bool EnvForcesOff();
+  // Recognizer behind the env override, exposed so tests can pin the accepted
+  // spellings without re-execing under a modified environment.
+  static bool IsOffValue(const std::string& value);
+  // Test seam simulating CSI_CANDIDATE_CACHE=off in-process (the real env
+  // read is cached in a static). Always reset to false before the test
+  // returns.
+  static void ForceEnvOffForTest(bool off);
 
   // Interns the enumeration-relevant subset of (config, display) and returns
   // a process-stable id (>= 1) for use in queries. Full structural equality —
@@ -154,9 +153,12 @@ class GroupCandidateCache {
   // is revalidated against `db`'s delta buffer (and re-anchored on success);
   // one that provably cannot be revalidated is dropped and counted as an
   // invalidation. `config` must be the config `query.context` was interned
-  // from (its DFS budget feeds the growth-range check).
+  // from (its DFS budget feeds the growth-range check). On a hit, `hull_out`
+  // (when non-null) receives the entry's recorded size hulls so the caller
+  // can fold the skipped enumeration into the result-tier hull.
   std::shared_ptr<const GroupCandidateSet> Lookup(const Query& query, const DbSnapshot& db,
-                                                  const GroupSearchConfig& config);
+                                                  const GroupSearchConfig& config,
+                                                  CandidateSetHull* hull_out = nullptr);
 
   // Publishes an enumeration result computed against `db`. Replaces any
   // existing entry for the key; sets larger than a whole shard's budget are
@@ -168,8 +170,8 @@ class GroupCandidateCache {
   void Clear();
 
   Stats stats() const;
-  size_t budget_bytes() const { return budget_bytes_; }
-  int shards() const { return static_cast<int>(shards_.size()); }
+  size_t budget_bytes() const { return store_.budget_bytes(); }
+  int shards() const { return store_.shards(); }
 
  private:
   struct QueryHash {
@@ -189,15 +191,6 @@ class GroupCandidateCache {
     bool referenced = false;
   };
 
-  struct Shard {
-    std::mutex mu;
-    // Clock order: front is next eviction victim; a referenced victim gets
-    // its bit cleared and one more trip to the back.
-    std::list<Entry> entries;
-    std::unordered_map<Query, std::list<Entry>::iterator, QueryHash> index;
-    size_t bytes = 0;
-  };
-
   // The interned enumeration-relevant context fields (see InternContext).
   struct Context {
     double k = 0.0;
@@ -214,16 +207,12 @@ class GroupCandidateCache {
     friend bool operator==(const Context&, const Context&) = default;
   };
 
-  Shard& ShardFor(const Query& query);
   // True when the entry's output is byte-identical under `db`; re-anchors the
   // entry on success. Caller holds the shard mutex.
   static bool Revalidate(Entry& entry, const DbSnapshot& db, const GroupSearchConfig& config);
   static size_t ApproxBytes(const GroupCandidateSet& set);
-  void EvictOverBudget(Shard& shard);
 
-  size_t budget_bytes_ = 0;
-  size_t shard_budget_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  internal::ShardedClockStore<Query, Entry, QueryHash> store_;
 
   mutable std::mutex contexts_mu_;
   std::vector<Context> contexts_;

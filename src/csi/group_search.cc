@@ -13,6 +13,7 @@
 #include "src/common/tracing.h"
 #include "src/csi/audit.h"
 #include "src/csi/candidate_cache.h"
+#include "src/csi/result_cache.h"
 
 namespace csi::infer {
 namespace {
@@ -206,6 +207,13 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
     return set;
   }
 
+  // Canonical start range, shared by the candidate-cache key and the
+  // result-tier hull record: lo clamps to 0, hi becomes kOpenHi when it
+  // reaches the snapshot's live edge.
+  const int canon_lo = std::max(start_lo, 0);
+  const int canon_hi =
+      start_hi >= db.num_positions() - 1 ? GroupCandidateCache::kOpenHi : start_hi;
+
   // Consult the shared cross-trace cache before doing any work. The two
   // early-outs above are cheaper than a cache probe and stay uncached.
   GroupCandidateCache* shared = config.shared_cache;
@@ -219,13 +227,20 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
     }
     query = GroupCandidateCache::MakeQuery(db, context_id, n_req, group.estimated_total,
                                            start_lo, start_hi);
-    if (std::shared_ptr<const GroupCandidateSet> hit = shared->Lookup(query, db, config)) {
+    CandidateSetHull cached_hull;
+    if (std::shared_ptr<const GroupCandidateSet> hit =
+            shared->Lookup(query, db, config, &cached_hull)) {
       if (audit != nullptr) {
         audit->candidates += static_cast<int64_t>(hit->candidates.size());
         if (hit->truncated) {
           ++audit->enum_truncations;
         }
       }
+      // A hit skipped the enumeration but the result still depends on it:
+      // fold the entry's recorded hulls into the result-tier collector
+      // exactly as the computed path below would.
+      RecordEnumerationForResultCache(cached_hull, canon_lo, canon_hi, db.num_positions(),
+                                      config.max_dfs_nodes);
       return hit;
     }
   }
@@ -455,6 +470,8 @@ std::shared_ptr<const GroupCandidateSet> EnumerateGroupCandidateSet(
   if (shared != nullptr) {
     shared->Insert(query, db, hull, set);
   }
+  RecordEnumerationForResultCache(hull, canon_lo, canon_hi, db.num_positions(),
+                                  config.max_dfs_nodes);
   return set;
 }
 

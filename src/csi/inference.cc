@@ -47,6 +47,19 @@ InferenceEngine::InferenceEngine(const media::Manifest* manifest, InferenceConfi
 }
 
 void InferenceEngine::FinishConfig() {
+  // Reconcile the deprecated per-tier cache fields with the unified `caches`
+  // block: a legacy field set non-null wins; from here on both spellings name
+  // the same cache, so readers of either see one coherent set.
+  if (config_.candidate_cache != nullptr) {
+    config_.caches.candidate = config_.candidate_cache;
+  } else {
+    config_.candidate_cache = config_.caches.candidate;
+  }
+  if (config_.prefix_cache != nullptr) {
+    config_.caches.prefix = config_.prefix_cache;
+  } else {
+    config_.prefix_cache = config_.caches.prefix;
+  }
   if (config_.host_suffix.empty()) {
     config_.host_suffix = manifest_->host;
   }
@@ -62,6 +75,28 @@ void InferenceEngine::FinishConfig() {
     prefix_context_ = config_.prefix_cache->InternContext(
         config_.design, config_.host_suffix, config_.splitter);
   }
+  if (config_.caches.result != nullptr) {
+    // Every knob a result can depend on, captured after the default fills for
+    // the same sharing reason as the prefix context. Pools and the other
+    // cache pointers are excluded: results are byte-identical across those.
+    ResultCache::Context ctx;
+    ctx.design = config_.design;
+    ctx.host_suffix = config_.host_suffix;
+    ctx.splitter = config_.splitter;
+    ctx.k_https = config_.k_https;
+    ctx.k_quic = config_.k_quic;
+    ctx.expected_overhead_https = config_.expected_overhead_https;
+    ctx.expected_overhead_quic = config_.expected_overhead_quic;
+    ctx.expected_fixed_overhead = config_.expected_fixed_overhead;
+    ctx.max_sequences = config_.max_sequences;
+    ctx.max_candidates_per_group = config_.max_candidates_per_group;
+    ctx.enable_wildcards = config_.enable_wildcards;
+    ctx.enable_merge_repair = config_.enable_merge_repair;
+    ctx.enable_phantom_deficit = config_.enable_phantom_deficit;
+    ctx.enable_calibrated_ranking = config_.enable_calibrated_ranking;
+    ctx.other_object_sizes = config_.other_object_sizes;
+    result_context_ = config_.caches.result->InternContext(ctx);
+  }
 }
 
 void InferenceEngine::UpdateSnapshot(DbSnapshot snapshot) {
@@ -70,6 +105,11 @@ void InferenceEngine::UpdateSnapshot(DbSnapshot snapshot) {
 }
 
 bool InferenceEngine::MatchesSomething(Bytes estimate, double k) const {
+  // The video-index probe below is snapshot-dependent: an appended chunk
+  // inside the admissible window can flip a "no" to a "yes" (audio is CBR and
+  // other_object_sizes is config, both append-invariant). Tell the
+  // result-tier collector, for positive and negative answers alike.
+  RecordSizeProbeForResultCache(estimate, k);
   if (snapshot_.HasVideoCandidate(estimate, k) || snapshot_.AudioPossible(estimate, k)) {
     return true;
   }
@@ -167,19 +207,64 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   CSI_TRACE_SPAN_ARGS("analyze", "stage",
                       {"packets", static_cast<int64_t>(trace.size())});
   CSI_COUNTER_INC("csi_analyze_calls_total");
-  const AuditScope audit_scope(audit);
 
-  // Consult the shared prefix cache before paying for the per-packet stages;
-  // on a miss, compute and publish so later repeats (this engine or any other
-  // sharing the cache) jump straight to the snapshot-dependent search.
   AnalysisPrefixCache* const prefix_cache =
       config_.prefix_cache != nullptr && !AnalysisPrefixCache::EnvForcesOff()
           ? config_.prefix_cache.get()
           : nullptr;
+  // Top tier: the whole-result cache. Calls with display constraints bypass
+  // it — the key deliberately covers only the unconstrained path.
+  ResultCache* const result_cache =
+      config_.caches.result != nullptr && !ResultCache::EnvForcesOff() && display.empty()
+          ? config_.caches.result.get()
+          : nullptr;
+  // One fingerprint pass feeds both the result- and prefix-tier keys.
+  TraceFingerprint fingerprint;
+  if (result_cache != nullptr || prefix_cache != nullptr) {
+    fingerprint = FingerprintTrace(trace);
+  }
+  ResultCache::Query result_query;
+  if (result_cache != nullptr) {
+    result_query = ResultCache::MakeQuery(fingerprint, result_context_, snapshot_);
+    ResultCache::AuditShape shape;
+    if (std::shared_ptr<const InferenceResult> hit =
+            result_cache->Lookup(result_query, snapshot_, &shape)) {
+      if (audit != nullptr) {
+        // Replay the shape of the skipped work; per-stage work counters stay
+        // zero, which is how a served-from-cache audit line reads.
+        audit->media_flows = shape.media_flows;
+        audit->groups = shape.groups;
+        audit->sequences = shape.sequences;
+        audit->truncated = shape.truncated;
+        audit->has_best_cost = shape.has_best_cost;
+        audit->best_cost = shape.best_cost;
+        audit->has_runner_up_cost = shape.has_runner_up_cost;
+        audit->runner_up_cost = shape.runner_up_cost;
+      }
+      return *hit;
+    }
+  }
+
+  // The insert below needs the audit shape (the chain search reports costs
+  // through CurrentAudit()), so collect into a local audit when the caller
+  // didn't ask for one. Collection never changes the result.
+  InferenceAudit local_audit;
+  InferenceAudit* const effective_audit =
+      audit != nullptr ? audit : result_cache != nullptr ? &local_audit : nullptr;
+  const AuditScope audit_scope(effective_audit);
+  // Collector for everything the compute path reads off the position axis;
+  // stays insensitive when the cache is off or the trace has no media flows.
+  ResultHull result_hull;
+  const ResultHullScope hull_scope(result_cache != nullptr ? &result_hull : nullptr);
+
+  // Consult the shared prefix cache before paying for the per-packet stages;
+  // on a miss, compute and publish so later repeats (this engine or any other
+  // sharing the cache) jump straight to the snapshot-dependent search.
   std::shared_ptr<const AnalysisPrefix> prefix;
   AnalysisPrefixCache::Query prefix_query;
   if (prefix_cache != nullptr) {
-    prefix_query = AnalysisPrefixCache::MakeQuery(trace, prefix_context_);
+    prefix_query.fingerprint = fingerprint;
+    prefix_query.context = prefix_context_;
     prefix = prefix_cache->Lookup(prefix_query);
   }
   if (prefix == nullptr) {
@@ -190,12 +275,20 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
     prefix = std::move(computed);
   }
 
-  if (audit != nullptr) {
-    audit->media_flows = prefix->media_flows;
+  if (effective_audit != nullptr) {
+    effective_audit->media_flows = prefix->media_flows;
   }
   if (prefix->media_flows == 0) {
     CSI_COUNTER_INC("csi_analyze_no_media_flow_total");
     CSI_TRACE_INSTANT("analyze_no_media_flow", "stage");
+    if (result_cache != nullptr) {
+      // Classification never touches the database, so the empty result is
+      // valid under every state of the lineage (the hull is insensitive).
+      ResultCache::AuditShape shape;
+      shape.media_flows = 0;
+      result_cache->Insert(result_query, snapshot_, result_hull,
+                           std::make_shared<InferenceResult>(), shape);
+    }
     return {};
   }
 
@@ -249,13 +342,15 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
   CSI_SPAN("group_search");
   CSI_TRACE_SPAN_ARGS("group_search", "stage",
                       {"groups", static_cast<int64_t>(groups->size())});
-  if (audit != nullptr) {
-    audit->groups = static_cast<int>(groups->size());
+  if (effective_audit != nullptr) {
+    effective_audit->groups = static_cast<int>(groups->size());
   }
   InferenceResult result = SearchGroupSequences(*groups, snapshot_, group, display);
+  if (effective_audit != nullptr) {
+    effective_audit->sequences = static_cast<int>(result.sequences.size());
+    effective_audit->truncated = result.truncated;
+  }
   if (audit != nullptr) {
-    audit->sequences = static_cast<int>(result.sequences.size());
-    audit->truncated = result.truncated;
     // Surface the audit in the trace too, so a Perfetto view of the session
     // carries the explanation without the JSONL side channel.
     CSI_TRACE_INSTANT("inference_audit_stages", "audit",
@@ -280,6 +375,22 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
                                                ? audit->runner_up_cost
                                                : -1.0});
     }
+  }
+  if (result_cache != nullptr) {
+    // effective_audit is non-null whenever the cache is attached; freeze the
+    // shape of the work a future hit will skip alongside the result.
+    ResultCache::AuditShape shape;
+    shape.media_flows = effective_audit->media_flows;
+    shape.groups = effective_audit->groups;
+    shape.sequences = effective_audit->sequences;
+    shape.truncated = effective_audit->truncated;
+    shape.has_best_cost = effective_audit->has_best_cost;
+    shape.best_cost = effective_audit->best_cost;
+    shape.has_runner_up_cost = effective_audit->has_runner_up_cost;
+    shape.runner_up_cost = effective_audit->runner_up_cost;
+    auto owned = std::make_shared<InferenceResult>(std::move(result));
+    result_cache->Insert(result_query, snapshot_, result_hull, owned, shape);
+    return *owned;
   }
   return result;
 }

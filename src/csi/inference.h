@@ -19,6 +19,7 @@
 #include "src/csi/group_search.h"
 #include "src/csi/path_search.h"
 #include "src/csi/prefix_cache.h"
+#include "src/csi/result_cache.h"
 #include "src/csi/splitter.h"
 #include "src/csi/types.h"
 
@@ -56,12 +57,15 @@ struct InferenceConfig {
   // index is byte-identical for every pool/shard combination.
   ThreadPool* db_build_pool = nullptr;
   int db_build_shards = 0;
-  // Optional shared group-candidate result cache (see candidate_cache.h),
+  // Deprecated alias of caches.candidate (see below); either spelling may be
+  // set and the engine reconciles them at construction, a non-null alias
+  // winning. Optional shared group-candidate result cache (candidate_cache.h)
   // consulted by the SQ enumeration. Shared ownership: several engines (or a
   // BatchAnalyzer plus standalone engines) may point at one cache and warm
   // each other up. Results are byte-identical with or without it. Null: no
   // cross-trace caching.
   std::shared_ptr<GroupCandidateCache> candidate_cache;
+  // Deprecated alias of caches.prefix, reconciled like candidate_cache.
   // Optional shared analysis-prefix cache (see prefix_cache.h), consulted
   // before the per-packet stages (flow classification, size estimation,
   // traffic splitting). Keyed on a trace fingerprint + interned config
@@ -70,6 +74,20 @@ struct InferenceConfig {
   // candidate_cache; results are byte-identical with or without it. Null: the
   // prefix is recomputed per Analyze.
   std::shared_ptr<AnalysisPrefixCache> prefix_cache;
+  // The unified cache block: one struct naming every tier, in pipeline order
+  // from outermost to innermost. `result` (result_cache.h) memoizes whole
+  // InferenceResults keyed on (trace fingerprint, config context, database
+  // lineage) — a hit skips classification, splitting, enumeration and the
+  // sequence search outright; calls with display constraints bypass it. All
+  // three tiers are share-owned, optional, and byte-transparent: results are
+  // identical with any subset attached. The legacy per-tier fields above
+  // remain as aliases; after construction both spellings agree.
+  struct Caches {
+    std::shared_ptr<AnalysisPrefixCache> prefix;
+    std::shared_ptr<GroupCandidateCache> candidate;
+    std::shared_ptr<ResultCache> result;
+  };
+  Caches caches;
 };
 
 class InferenceEngine {
@@ -125,6 +143,9 @@ class InferenceEngine {
   // Interned prefix-cache context id for this engine's (design, host_suffix,
   // splitter) triple; 0 when no prefix cache is attached.
   uint32_t prefix_context_ = 0;
+  // Interned result-cache context id for this engine's full result-relevant
+  // config; 0 when no result cache is attached.
+  uint32_t result_context_ = 0;
 };
 
 }  // namespace csi::infer

@@ -71,23 +71,16 @@ size_t AnalysisPrefixCache::QueryHash::operator()(const Query& q) const {
 }
 
 AnalysisPrefixCache::AnalysisPrefixCache(size_t budget_bytes, int shards)
-    : budget_bytes_(budget_bytes) {
-  const int n = std::max(shards, 1);
-  shard_budget_ = budget_bytes_ / static_cast<size_t>(n);
-  shards_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
-}
+    : store_(budget_bytes, shards) {}
 
 bool AnalysisPrefixCache::IsOffValue(const std::string& value) {
-  return value == "off" || value == "OFF" || value == "0" || value == "none";
+  return CacheOffSpelling(value);
 }
 
 bool AnalysisPrefixCache::EnvForcesOff() {
   static const bool off = [] {
     const char* env = std::getenv("CSI_PREFIX_CACHE");
-    return env != nullptr && IsOffValue(env);
+    return (env != nullptr && IsOffValue(env)) || CsiCacheEnvDisables("prefix");
   }();
   return off || g_force_env_off.load(std::memory_order_relaxed);
 }
@@ -123,12 +116,6 @@ AnalysisPrefixCache::Query AnalysisPrefixCache::MakeQuery(const capture::Capture
   return q;
 }
 
-AnalysisPrefixCache::Shard& AnalysisPrefixCache::ShardFor(const Query& query) {
-  const size_t h = QueryHash{}(query);
-  // The map consumes the low bits; pick the shard from the high ones.
-  return *shards_[(h >> 17) % shards_.size()];
-}
-
 size_t AnalysisPrefixCache::ApproxBytes(const AnalysisPrefix& prefix) {
   size_t bytes = sizeof(Entry) + sizeof(AnalysisPrefix) +
                  prefix.groups.capacity() * sizeof(TrafficGroup) +
@@ -145,7 +132,7 @@ std::shared_ptr<const AnalysisPrefix> AnalysisPrefixCache::Lookup(const Query& q
   }
   CSI_SPAN("prefix_cache_lookup");
   CSI_TRACE_SPAN("prefix_cache_lookup", "cache");
-  Shard& shard = ShardFor(query);
+  auto& shard = store_.ShardFor(query);
   std::shared_ptr<const AnalysisPrefix> hit;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -178,58 +165,24 @@ void AnalysisPrefixCache::Insert(const Query& query,
   entry.query = query;
   entry.bytes = ApproxBytes(*prefix);
   entry.prefix = std::move(prefix);
-  if (entry.bytes > shard_budget_) {
-    return;  // would evict a whole shard and still not fit
-  }
-
-  size_t evicted = 0;
-  Shard& shard = ShardFor(query);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(query);
-    if (it != shard.index.end()) {
-      // A racing thread computed the same trace; values are deterministic, so
-      // either copy serves — keep the fresher one.
-      shard.bytes -= it->second->bytes;
-      shard.entries.erase(it->second);
-      shard.index.erase(it);
-    }
-    shard.bytes += entry.bytes;
-    shard.entries.push_back(std::move(entry));
-    shard.index.emplace(query, std::prev(shard.entries.end()));
-    while (shard.bytes > shard_budget_ && shard.entries.size() > 1) {
-      Entry& victim = shard.entries.front();
-      if (victim.referenced) {
-        victim.referenced = false;
-        shard.entries.splice(shard.entries.end(), shard.entries, shard.entries.begin());
-        shard.index[victim.query] = std::prev(shard.entries.end());
-        continue;
-      }
-      shard.bytes -= victim.bytes;
-      shard.index.erase(victim.query);
-      shard.entries.pop_front();
-      ++evicted;
-    }
+  // A replaced entry means a racing thread computed the same trace; values
+  // are deterministic, so either copy serves — the store keeps the fresher.
+  const int64_t evicted = store_.InsertAndEvict(std::move(entry));
+  if (evicted < 0) {
+    return;  // bigger than a whole shard's budget; refused
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   CSI_COUNTER_INC("csi_prefix_cache_inserts_total");
   if (evicted > 0) {
-    evictions_.fetch_add(evicted, std::memory_order_relaxed);
-    CSI_COUNTER_ADD("csi_prefix_cache_evictions_total", static_cast<int64_t>(evicted));
+    evictions_.fetch_add(static_cast<uint64_t>(evicted), std::memory_order_relaxed);
+    CSI_COUNTER_ADD("csi_prefix_cache_evictions_total", evicted);
   }
   // Per-shard drift between inserts is fine for a gauge; exact totals come
   // from stats().
   CSI_GAUGE_SET("csi_prefix_cache_bytes", static_cast<int64_t>(stats().bytes));
 }
 
-void AnalysisPrefixCache::Clear() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->entries.clear();
-    shard->index.clear();
-    shard->bytes = 0;
-  }
-}
+void AnalysisPrefixCache::Clear() { store_.Clear(); }
 
 AnalysisPrefixCache::Stats AnalysisPrefixCache::stats() const {
   Stats s;
@@ -237,11 +190,7 @@ AnalysisPrefixCache::Stats AnalysisPrefixCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    s.bytes += shard->bytes;
-    s.entries += shard->entries.size();
-  }
+  store_.AccumulateShards(&s);
   {
     std::lock_guard<std::mutex> lock(contexts_mu_);
     s.contexts = contexts_.size();

@@ -32,23 +32,22 @@
 // Hits return a shared_ptr to an immutable AnalysisPrefix — a warm Analyze
 // jumps straight to the snapshot-dependent candidate/graph search without
 // copying packet vectors. Eviction is per-shard second-chance (clock) over a
-// byte budget, mirroring GroupCandidateCache. Force-off escape hatch:
-// CSI_PREFIX_CACHE=off (mirrors CSI_CANDIDATE_CACHE=off) turns every lookup
-// into a miss and every insert into a no-op.
+// byte budget via the shared ShardedClockStore (cache_common.h). Force-off
+// escape hatches: CSI_PREFIX_CACHE=off or the unified CSI_CACHE=prefix:off
+// turn every lookup into a miss and every insert into a no-op.
 
 #ifndef CSI_SRC_CSI_PREFIX_CACHE_H_
 #define CSI_SRC_CSI_PREFIX_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/capture/packet_record.h"
+#include "src/csi/cache_common.h"
 #include "src/csi/splitter.h"
 #include "src/csi/types.h"
 
@@ -87,21 +86,9 @@ class AnalysisPrefixCache {
  public:
   static constexpr int kDefaultShards = 16;
 
-  struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
-    uint64_t bytes = 0;
-    uint64_t entries = 0;
-    uint64_t contexts = 0;
-
-    uint64_t lookups() const { return hits + misses; }
-    double hit_ratio() const {
-      const uint64_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
-    }
-  };
+  // Unified stats block shared by every cache tier (invalidations stays 0
+  // here: prefix entries are snapshot-independent and never revalidate).
+  using Stats = CacheStats;
 
   struct Query {
     TraceFingerprint fingerprint;
@@ -115,8 +102,9 @@ class AnalysisPrefixCache {
   AnalysisPrefixCache(const AnalysisPrefixCache&) = delete;
   AnalysisPrefixCache& operator=(const AnalysisPrefixCache&) = delete;
 
-  // True when CSI_PREFIX_CACHE=off|OFF|0|none forces the cache out of the
-  // picture (environment checked once per process), or a test forced it via
+  // True when CSI_PREFIX_CACHE=off|OFF|0|none or the unified
+  // CSI_CACHE=prefix:off override forces the cache out of the picture
+  // (environment checked once per process), or a test forced it via
   // ForceEnvOffForTest. Engines treat the cache as absent; a constructed
   // cache stays empty.
   static bool EnvForcesOff();
@@ -152,8 +140,8 @@ class AnalysisPrefixCache {
   void Clear();
 
   Stats stats() const;
-  size_t budget_bytes() const { return budget_bytes_; }
-  int shards() const { return static_cast<int>(shards_.size()); }
+  size_t budget_bytes() const { return store_.budget_bytes(); }
+  int shards() const { return store_.shards(); }
 
  private:
   struct QueryHash {
@@ -168,15 +156,6 @@ class AnalysisPrefixCache {
     bool referenced = false;
   };
 
-  struct Shard {
-    std::mutex mu;
-    // Clock order: front is next eviction victim; a referenced victim gets
-    // its bit cleared and one more trip to the back.
-    std::list<Entry> entries;
-    std::unordered_map<Query, std::list<Entry>::iterator, QueryHash> index;
-    size_t bytes = 0;
-  };
-
   // The interned prefix-relevant context fields (see InternContext).
   struct Context {
     DesignType design = DesignType::kCH;
@@ -186,12 +165,9 @@ class AnalysisPrefixCache {
     friend bool operator==(const Context&, const Context&) = default;
   };
 
-  Shard& ShardFor(const Query& query);
   static size_t ApproxBytes(const AnalysisPrefix& prefix);
 
-  size_t budget_bytes_ = 0;
-  size_t shard_budget_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  internal::ShardedClockStore<Query, Entry, QueryHash> store_;
 
   mutable std::mutex contexts_mu_;
   std::vector<Context> contexts_;

@@ -572,9 +572,13 @@ TEST(CandidateCacheBatch, SqBatchIdenticalWithCacheOnOffAndWarm) {
   config.design = DesignType::kSQ;
   BatchConfig cache_on;
   cache_on.threads = 2;
+  // Keep the result tier out of the way: it would serve the duplicated back
+  // half wholesale and starve the candidate-tier warm-hit stats under test.
+  cache_on.caches.result.enabled = false;
   BatchConfig cache_off;
   cache_off.threads = 2;
   cache_off.candidate_cache_mb = 0;
+  cache_off.caches.result.enabled = false;
 
   BatchAnalyzer with_cache(&manifest, config, cache_on);
   BatchAnalyzer without_cache(&manifest, config, cache_off);

@@ -277,6 +277,10 @@ TEST(PrefixCacheDifferential, CacheOnOffEnvDisabledByteIdenticalAcrossSchedules)
       for (int repeats = 1; repeats <= max_repeats; ++repeats) {
         BatchConfig on;
         on.threads = threads;
+        // This test targets the prefix tier's warm-hit stats; the result tier
+        // would absorb the duplicate traces first, so keep it off here (its
+        // own differential lives in result_cache_test).
+        on.caches.result.enabled = false;
         BatchAnalyzer analyzer(&manifest, config, on);
         for (int r = 0; r < repeats; ++r) {
           const auto got = analyzer.AnalyzeAll(traces);

@@ -18,15 +18,25 @@ Prefix-cache telemetry checks on the same trace file:
   * the number of those instants equals the number of 'B' events for the
     "prefix_cache_lookup" span — every lookup explains itself exactly once.
 
+Result-cache telemetry checks on the same trace file:
+  * every 'i' instant named "result_cache" carries args with an outcome of
+    "hit", "revalidated", "invalidated" or "miss" plus a non-empty reason;
+  * the number of terminal instants (hit/revalidated/miss) equals the number
+    of 'B' events for the "result_cache_lookup" span — every lookup resolves
+    exactly once. "invalidated" instants are extra (a lookup that drops a
+    stale entry then misses emits both), so they may not exceed lookups.
+
 Optionally validates an --audit JSONL file: one JSON object per line, each
 with the per-trace audit fields the inference engine records.
 
 Optionally validates one or more --metrics JSON exports (csi_batch
---metrics-out --metrics-format json). Per file, the prefix-cache counters
-must be internally consistent (lookups == hits + misses, inserts <= misses,
-evictions <= inserts). Across files given in order, every
-csi_prefix_cache_*_total counter must be monotonically non-decreasing — the
-order should match the order the exports were produced in.
+--metrics-out --metrics-format json). Per file, the prefix-cache and
+result-cache counters must be internally consistent (lookups == hits +
+misses, inserts <= misses, evictions <= inserts, and for the result tier
+invalidations <= misses). Across files given in order, every
+csi_prefix_cache_*_total / csi_result_cache_*_total counter must be
+monotonically non-decreasing — the order should match the order the exports
+were produced in.
 
 Usage: check_trace.py TRACE_JSON [--audit AUDIT_JSONL] [--metrics JSON ...]
 Exits non-zero with a message on the first violation.
@@ -67,6 +77,9 @@ def check_trace(path):
     flow_steps = []  # (id, ts, phase) for 't'/'f'
     prefix_lookups = 0  # 'B' events of the prefix_cache_lookup span
     prefix_instants = 0  # 'i' events named prefix_cache
+    result_lookups = 0  # 'B' events of the result_cache_lookup span
+    result_terminal = 0  # result_cache instants that resolve a lookup
+    result_invalidated = 0  # extra instants for dropped stale entries
     for i, ev in enumerate(events):
         where = f"{path}: event {i}"
         for key, types in (
@@ -119,6 +132,25 @@ def check_trace(path):
             reason = args.get("reason")
             if not isinstance(reason, str) or not reason:
                 fail(f"{where}: prefix_cache instant missing a reason string")
+        if ph == "B" and ev["name"] == "result_cache_lookup":
+            result_lookups += 1
+        if ph == "i" and ev["name"] == "result_cache":
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                fail(f"{where}: result_cache instant without args")
+            outcome = args.get("outcome")
+            if outcome in ("hit", "revalidated", "miss"):
+                result_terminal += 1
+            elif outcome == "invalidated":
+                result_invalidated += 1
+            else:
+                fail(
+                    f"{where}: result_cache outcome must be one of "
+                    f"hit/revalidated/invalidated/miss, got {outcome!r}"
+                )
+            reason = args.get("reason")
+            if not isinstance(reason, str) or not reason:
+                fail(f"{where}: result_cache instant missing a reason string")
 
     for fid, ts, ph, i in flow_steps:
         if fid not in flow_starts:
@@ -132,13 +164,25 @@ def check_trace(path):
             f"{prefix_instants} prefix_cache instant(s) — every lookup must "
             f"explain its outcome exactly once"
         )
+    if result_terminal != result_lookups:
+        fail(
+            f"{path}: {result_lookups} result_cache_lookup span(s) but "
+            f"{result_terminal} terminal result_cache instant(s) — every "
+            f"lookup must resolve (hit/revalidated/miss) exactly once"
+        )
+    if result_invalidated > result_lookups:
+        fail(
+            f"{path}: {result_invalidated} result_cache 'invalidated' "
+            f"instant(s) exceed {result_lookups} lookup span(s)"
+        )
 
     open_spans = sum(depth.values())
     n_flows = len(flow_starts)
     print(
         f"check_trace: OK: {len(events)} events, {n_flows} flow(s), "
         f"{open_spans} trailing open span(s), "
-        f"{prefix_lookups} prefix-cache lookup(s)"
+        f"{prefix_lookups} prefix-cache lookup(s), "
+        f"{result_lookups} result-cache lookup(s)"
     )
 
 
@@ -164,13 +208,42 @@ def check_audit(path):
     print(f"check_trace: OK: {n} audit record(s)")
 
 
-PREFIX_COUNTERS = (
+MONOTONIC_COUNTERS = (
     "csi_prefix_cache_lookups_total",
     "csi_prefix_cache_hits_total",
     "csi_prefix_cache_misses_total",
     "csi_prefix_cache_inserts_total",
     "csi_prefix_cache_evictions_total",
+    "csi_result_cache_lookups_total",
+    "csi_result_cache_hits_total",
+    "csi_result_cache_misses_total",
+    "csi_result_cache_inserts_total",
+    "csi_result_cache_evictions_total",
+    "csi_result_cache_invalidations_total",
 )
+
+
+def check_cache_counters(path, counters, tier):
+    """lookups == hits + misses; inserts <= misses; evictions <= inserts.
+
+    Absent counters read as 0: a cache-off run legitimately exports none.
+    """
+    lookups = counters.get(f"csi_{tier}_cache_lookups_total", 0)
+    hits = counters.get(f"csi_{tier}_cache_hits_total", 0)
+    misses = counters.get(f"csi_{tier}_cache_misses_total", 0)
+    inserts = counters.get(f"csi_{tier}_cache_inserts_total", 0)
+    evictions = counters.get(f"csi_{tier}_cache_evictions_total", 0)
+    if hits + misses != lookups:
+        fail(f"{path}: {tier}-cache lookups ({lookups}) != hits ({hits}) + misses ({misses})")
+    if inserts > misses:
+        fail(f"{path}: {tier}-cache inserts ({inserts}) > misses ({misses})")
+    if evictions > inserts:
+        fail(f"{path}: {tier}-cache evictions ({evictions}) > inserts ({inserts})")
+    if tier == "result":
+        # A dropped stale entry always resolves as a miss in the same lookup.
+        invalidations = counters.get("csi_result_cache_invalidations_total", 0)
+        if invalidations > misses:
+            fail(f"{path}: result-cache invalidations ({invalidations}) > misses ({misses})")
 
 
 def load_counters(path):
@@ -191,23 +264,10 @@ def check_metrics(paths):
     prev_path = None
     for path in paths:
         counters = load_counters(path)
-        # Absent counters read as 0: a cache-off run legitimately exports none.
-        lookups = counters.get("csi_prefix_cache_lookups_total", 0)
-        hits = counters.get("csi_prefix_cache_hits_total", 0)
-        misses = counters.get("csi_prefix_cache_misses_total", 0)
-        inserts = counters.get("csi_prefix_cache_inserts_total", 0)
-        evictions = counters.get("csi_prefix_cache_evictions_total", 0)
-        if hits + misses != lookups:
-            fail(
-                f"{path}: prefix-cache lookups ({lookups}) != hits ({hits}) "
-                f"+ misses ({misses})"
-            )
-        if inserts > misses:
-            fail(f"{path}: prefix-cache inserts ({inserts}) > misses ({misses})")
-        if evictions > inserts:
-            fail(f"{path}: prefix-cache evictions ({evictions}) > inserts ({inserts})")
+        check_cache_counters(path, counters, "prefix")
+        check_cache_counters(path, counters, "result")
         if previous is not None:
-            for name in PREFIX_COUNTERS:
+            for name in MONOTONIC_COUNTERS:
                 before = previous.get(name, 0)
                 after = counters.get(name, 0)
                 if after < before:

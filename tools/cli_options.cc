@@ -14,15 +14,28 @@
 namespace csi::tools {
 
 void FlagParser::AddString(const std::string& name, std::string* value) {
-  flags_[name] = Flag{Kind::kString, value};
+  flags_[name] = Flag{Kind::kString, value, {}};
 }
 
 void FlagParser::AddInt(const std::string& name, int* value) {
-  flags_[name] = Flag{Kind::kInt, value};
+  flags_[name] = Flag{Kind::kInt, value, {}};
 }
 
 void FlagParser::AddBool(const std::string& name, bool* value) {
-  flags_[name] = Flag{Kind::kBool, value};
+  flags_[name] = Flag{Kind::kBool, value, {}};
+}
+
+void FlagParser::AddKeyedString(const std::string& name, const std::string& key,
+                                std::string* value) {
+  Flag& flag = flags_[name];
+  flag.kind = Kind::kKeyed;
+  flag.keyed[key] = Flag{Kind::kString, value, {}};
+}
+
+void FlagParser::AddKeyedInt(const std::string& name, const std::string& key, int* value) {
+  Flag& flag = flags_[name];
+  flag.kind = Kind::kKeyed;
+  flag.keyed[key] = Flag{Kind::kInt, value, {}};
 }
 
 namespace {
@@ -82,6 +95,33 @@ bool FlagParser::Parse(int argc, const char* const* argv,
       return false;
     }
     const std::string value = argv[++i];
+    if (flag.kind == Kind::kKeyed) {
+      const size_t eq = value.find('=');
+      if (eq == std::string::npos) {
+        if (error != nullptr) {
+          *error = "expected KEY=VALUE for " + arg + ": " + value;
+        }
+        return false;
+      }
+      const std::string key = value.substr(0, eq);
+      const std::string rest = value.substr(eq + 1);
+      const auto sub = flag.keyed.find(key);
+      if (sub == flag.keyed.end()) {
+        if (error != nullptr) {
+          *error = "unknown key for " + arg + ": " + key;
+        }
+        return false;
+      }
+      if (sub->second.kind == Kind::kString) {
+        *static_cast<std::string*>(sub->second.target) = rest;
+      } else if (!ParseIntValue(rest, static_cast<int*>(sub->second.target))) {
+        if (error != nullptr) {
+          *error = "invalid integer for " + arg + " " + key + ": " + rest;
+        }
+        return false;
+      }
+      continue;
+    }
     if (flag.kind == Kind::kString) {
       *static_cast<std::string*>(flag.target) = value;
     } else {
@@ -103,6 +143,14 @@ void CommonOptions::Register(FlagParser* parser) {
   parser->AddString("--metrics-out", &metrics_out);
   parser->AddString("--metrics-format", &metrics_format);
   parser->AddInt("--db-build-threads", &db_build_threads);
+  // The unified per-tier cache flags and their legacy aliases write the same
+  // storage, so either spelling (or a mix) works and the last one wins.
+  parser->AddKeyedString("--cache", "prefix", &prefix_cache);
+  parser->AddKeyedString("--cache", "candidate", &candidate_cache);
+  parser->AddKeyedString("--cache", "result", &result_cache);
+  parser->AddKeyedInt("--cache-mb", "prefix", &prefix_cache_mb);
+  parser->AddKeyedInt("--cache-mb", "candidate", &candidate_cache_mb);
+  parser->AddKeyedInt("--cache-mb", "result", &result_cache_mb);
   parser->AddInt("--candidate-cache-mb", &candidate_cache_mb);
   parser->AddString("--candidate-cache", &candidate_cache);
   parser->AddInt("--prefix-cache-mb", &prefix_cache_mb);
@@ -162,6 +210,18 @@ bool CommonOptions::Validate(std::string* error) const {
     }
     return false;
   }
+  if (result_cache_mb < 0) {
+    if (error != nullptr) {
+      *error = "--cache-mb result must be >= 0";
+    }
+    return false;
+  }
+  if (result_cache != "on" && result_cache != "off") {
+    if (error != nullptr) {
+      *error = "--cache result must be on or off";
+    }
+    return false;
+  }
   if (trace_mode != "full" && trace_mode != "flight") {
     if (error != nullptr) {
       *error = "--trace-mode must be full or flight";
@@ -177,6 +237,10 @@ int CommonOptions::candidate_cache_budget_mb() const {
 
 int CommonOptions::prefix_cache_budget_mb() const {
   return prefix_cache == "off" ? 0 : prefix_cache_mb;
+}
+
+int CommonOptions::result_cache_budget_mb() const {
+  return result_cache == "off" ? 0 : result_cache_mb;
 }
 
 infer::DesignType CommonOptions::design() const {
@@ -253,31 +317,34 @@ bool FinishTraceSession(const CommonOptions& options, std::string* error) {
   return session.ExportChromeTrace(options.trace_out, error);
 }
 
+std::string FormatCacheSummaryBlock(const infer::ResultCache* result,
+                                    const infer::AnalysisPrefixCache* prefix,
+                                    const infer::GroupCandidateCache* candidate) {
+  std::string block;
+  const auto append = [&block](const std::string& line) {
+    if (!block.empty()) {
+      block += '\n';
+    }
+    block += line;
+  };
+  if (result != nullptr) {
+    append(infer::FormatCacheSummary("result", result->stats()));
+  }
+  if (prefix != nullptr) {
+    append(infer::FormatCacheSummary("prefix", prefix->stats()));
+  }
+  if (candidate != nullptr) {
+    append(infer::FormatCacheSummary("candidate", candidate->stats()));
+  }
+  return block;
+}
+
 std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats& stats) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "candidate cache: %.1f%% hit ratio (%llu hit(s), %llu miss(es)), "
-                "%llu invalidation(s), %llu eviction(s), %.1f MiB in %llu entries",
-                100.0 * stats.hit_ratio(), static_cast<unsigned long long>(stats.hits),
-                static_cast<unsigned long long>(stats.misses),
-                static_cast<unsigned long long>(stats.invalidations),
-                static_cast<unsigned long long>(stats.evictions),
-                static_cast<double>(stats.bytes) / (1024.0 * 1024.0),
-                static_cast<unsigned long long>(stats.entries));
-  return buf;
+  return infer::FormatCacheSummary("candidate", stats);
 }
 
 std::string FormatPrefixCacheSummary(const infer::AnalysisPrefixCache::Stats& stats) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "prefix cache: %.1f%% hit ratio (%llu hit(s), %llu miss(es)), "
-                "%llu eviction(s), %.1f MiB in %llu entries",
-                100.0 * stats.hit_ratio(), static_cast<unsigned long long>(stats.hits),
-                static_cast<unsigned long long>(stats.misses),
-                static_cast<unsigned long long>(stats.evictions),
-                static_cast<double>(stats.bytes) / (1024.0 * 1024.0),
-                static_cast<unsigned long long>(stats.entries));
-  return buf;
+  return infer::FormatCacheSummary("prefix", stats);
 }
 
 std::string FormatStageBreakdown(const telemetry::MetricsSnapshot& snapshot) {
@@ -307,7 +374,8 @@ std::string FormatStageBreakdown(const telemetry::MetricsSnapshot& snapshot) {
       per_packet += h.sum;
     } else if (stage == "group_search") {
       search += h.sum;
-    } else if (stage == "group_cache_lookup" || stage == "prefix_cache_lookup") {
+    } else if (stage == "group_cache_lookup" || stage == "prefix_cache_lookup" ||
+               stage == "result_cache_lookup") {
       cache_lookup += h.sum;
     } else {
       other += h.sum;

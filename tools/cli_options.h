@@ -16,6 +16,7 @@
 #include "src/csi/audit.h"
 #include "src/csi/candidate_cache.h"
 #include "src/csi/prefix_cache.h"
+#include "src/csi/result_cache.h"
 #include "src/csi/types.h"
 
 namespace csi::tools {
@@ -31,6 +32,13 @@ class FlagParser {
   void AddInt(const std::string& name, int* value);
   // Presence flag `--name` (no value); sets *value to true.
   void AddBool(const std::string& name, bool* value);
+  // `--name KEY=VALUE`, repeatable: the VALUE for each registered KEY lands
+  // in that key's target (an unregistered KEY is a parse error). Register the
+  // same flag name once per key; string and int targets may mix across keys
+  // of different flags but each key has one kind.
+  void AddKeyedString(const std::string& name, const std::string& key, std::string* value);
+  // Keyed variant of AddInt: `--name KEY=N`.
+  void AddKeyedInt(const std::string& name, const std::string& key, int* value);
 
   // Parses argv[1..argc). Returns false and fills *error on an unknown flag,
   // missing value, or malformed int. Non-flag arguments are appended to
@@ -42,10 +50,12 @@ class FlagParser {
   bool help_requested() const { return help_requested_; }
 
  private:
-  enum class Kind { kString, kInt, kBool };
+  enum class Kind { kString, kInt, kBool, kKeyed };
   struct Flag {
     Kind kind = Kind::kString;
     void* target = nullptr;
+    // kKeyed only: per-KEY subtargets (kString or kInt each).
+    std::map<std::string, Flag> keyed;
   };
 
   std::map<std::string, Flag> flags_;
@@ -62,16 +72,25 @@ struct CommonOptions {
   std::string metrics_format = "json";
   // Shard count for the chunk-database build (0 = one shard per worker).
   int db_build_threads = 0;
+  // Per-tier cache knobs, written by the unified `--cache <name>=on|off` /
+  // `--cache-mb <name>=N` flags and equally by the legacy per-tier flags
+  // (`--candidate-cache-mb` etc.), which are plain aliases of the same
+  // storage — last flag on the command line wins, whichever spelling. "off"
+  // wins over any budget; the CSI_CACHE=<name>:off (or legacy per-tier)
+  // environment override beats both.
   // Byte budget (MiB) for the shared group-candidate cache; 0 disables it.
   int candidate_cache_mb = 64;
-  // "on" (default) or "off"; off wins over --candidate-cache-mb. The
-  // CSI_CANDIDATE_CACHE=off environment override beats both.
+  // "on" (default) or "off".
   std::string candidate_cache = "on";
   // Byte budget (MiB) for the shared analysis-prefix cache; 0 disables it.
   int prefix_cache_mb = 32;
-  // "on" (default) or "off"; off wins over --prefix-cache-mb. The
-  // CSI_PREFIX_CACHE=off environment override beats both.
+  // "on" (default) or "off".
   std::string prefix_cache = "on";
+  // Byte budget (MiB) for the shared whole-result cache; 0 disables it.
+  // Unified spelling only (the tier is newer than the legacy flags).
+  int result_cache_mb = 64;
+  // "on" (default) or "off".
+  std::string result_cache = "on";
   // Structured-trace output (Chrome trace-event JSON, Perfetto-loadable);
   // empty leaves tracing off entirely.
   std::string trace_out;
@@ -83,9 +102,10 @@ struct CommonOptions {
   std::string audit_out;
 
   // Registers --manifest, --design, --host, --metrics-out, --metrics-format,
-  // --db-build-threads, --candidate-cache-mb, --candidate-cache,
-  // --prefix-cache-mb, --prefix-cache, --trace-out, --trace-mode,
-  // --audit-out.
+  // --db-build-threads, the unified cache flags --cache <name>=on|off and
+  // --cache-mb <name>=N for name in {prefix, candidate, result}, their legacy
+  // aliases --candidate-cache-mb, --candidate-cache, --prefix-cache-mb,
+  // --prefix-cache, plus --trace-out, --trace-mode, --audit-out.
   void Register(FlagParser* parser);
   // Returns false and fills *error when required flags are missing or values
   // are out of range. Call after Parse().
@@ -97,6 +117,8 @@ struct CommonOptions {
   int candidate_cache_budget_mb() const;
   // Same combination for the analysis-prefix cache flags.
   int prefix_cache_budget_mb() const;
+  // Same combination for the whole-result cache flags.
+  int result_cache_budget_mb() const;
 };
 
 // Parses CH|SH|CQ|SQ into *out; false on anything else.
@@ -123,12 +145,17 @@ void StartTraceSessionIfRequested(const CommonOptions& options);
 // without --trace-out trivially succeeds.
 bool FinishTraceSession(const CommonOptions& options, std::string* error);
 
-// The one-line candidate-cache summary the tools print (hit ratio, traffic
-// counts, occupancy). No trailing newline.
-std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats& stats);
+// The unified per-tier cache summary block both tools print: one
+// infer::FormatCacheSummary line per attached tier, in pipeline order
+// (result, prefix, candidate), joined by newlines with no trailing newline.
+// Null tiers are skipped; empty string when every tier is null.
+std::string FormatCacheSummaryBlock(const infer::ResultCache* result,
+                                    const infer::AnalysisPrefixCache* prefix,
+                                    const infer::GroupCandidateCache* candidate);
 
-// The one-line analysis-prefix-cache summary (hit ratio, traffic counts,
-// occupancy). No trailing newline.
+// Deprecated single-tier summaries, now thin wrappers over the shared
+// infer::FormatCacheSummary formatter (one consistent line shape per tier).
+std::string FormatCandidateCacheSummary(const infer::GroupCandidateCache::Stats& stats);
 std::string FormatPrefixCacheSummary(const infer::AnalysisPrefixCache::Stats& stats);
 
 // Per-stage timing breakdown from the csi_stage_duration_seconds span

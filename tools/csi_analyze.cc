@@ -4,8 +4,7 @@
 //   csi_analyze --pcap session.pcap --manifest video.manifest --design SH
 //               [--host suffix] [--max-sequences N] [--report sequence|qoe|both]
 //               [--db-build-threads N]
-//               [--candidate-cache-mb N] [--candidate-cache on|off]
-//               [--prefix-cache-mb N] [--prefix-cache on|off]
+//               [--cache NAME=on|off] [--cache-mb NAME=N]
 //               [--metrics-out FILE] [--metrics-format json|prom]
 //               [--trace-out FILE] [--trace-mode full|flight] [--audit-out FILE]
 //
@@ -38,8 +37,9 @@ namespace {
                "usage: csi_analyze --pcap FILE --manifest FILE --design CH|SH|CQ|SQ\n"
                "                   [--host SUFFIX] [--max-sequences N]\n"
                "                   [--report sequence|qoe|both] [--db-build-threads N]\n"
-               "                   [--candidate-cache-mb N] [--candidate-cache on|off]\n"
-               "                   [--prefix-cache-mb N] [--prefix-cache on|off]\n"
+               "                   [--cache NAME=on|off] [--cache-mb NAME=N]\n"
+               "                   (NAME in {result, prefix, candidate}; legacy\n"
+               "                   --candidate-cache*/--prefix-cache* flags still accepted)\n"
                "                   [--metrics-out FILE] [--metrics-format json|prom]\n"
                "                   [--trace-out FILE] [--trace-mode full|flight]\n"
                "                   [--audit-out FILE]\n");
@@ -112,6 +112,13 @@ int main(int argc, char** argv) {
     config.prefix_cache = std::make_shared<infer::AnalysisPrefixCache>(
         static_cast<size_t>(cache_mb) * 1024 * 1024);
   }
+  // Same reasoning for the whole-result tier: a single shot can only miss,
+  // but the lookup path and its metrics stay exercised.
+  if (const int cache_mb = common.result_cache_budget_mb();
+      cache_mb > 0 && !infer::ResultCache::EnvForcesOff()) {
+    config.caches.result = std::make_shared<infer::ResultCache>(
+        static_cast<size_t>(cache_mb) * 1024 * 1024);
+  }
   const infer::InferenceEngine engine(&manifest, config);
   infer::InferenceAudit audit;
   infer::InferenceResult result;
@@ -142,13 +149,12 @@ int main(int argc, char** argv) {
   }
   std::printf("inference: %zu candidate sequence(s)%s\n", result.sequences.size(),
               result.truncated ? " (truncated)" : "");
-  if (config.candidate_cache != nullptr) {
-    std::printf("%s\n",
-                tools::FormatCandidateCacheSummary(config.candidate_cache->stats()).c_str());
-  }
-  if (config.prefix_cache != nullptr) {
-    std::printf("%s\n",
-                tools::FormatPrefixCacheSummary(config.prefix_cache->stats()).c_str());
+  {
+    const std::string cache_block = tools::FormatCacheSummaryBlock(
+        config.caches.result.get(), config.prefix_cache.get(), config.candidate_cache.get());
+    if (!cache_block.empty()) {
+      std::printf("%s\n", cache_block.c_str());
+    }
   }
   std::printf("\n");
   if (result.sequences.empty()) {

@@ -5,8 +5,7 @@
 //             [--threads N] [--db-build-threads N] [--repeat R]
 //             [--host SUFFIX] [--quiet]
 //             [--follow-manifests N] [--db-compact-after N]
-//             [--candidate-cache-mb N] [--candidate-cache on|off]
-//             [--prefix-cache-mb N] [--prefix-cache on|off]
+//             [--cache NAME=on|off] [--cache-mb NAME=N]
 //             [--metrics-out FILE] [--metrics-format json|prom]
 //             [--trace-out FILE] [--trace-mode full|flight] [--audit-out FILE]
 //
@@ -57,8 +56,7 @@ namespace {
                "                 [--threads N] [--db-build-threads N] [--repeat R]\n"
                "                 [--host SUFFIX] [--quiet]\n"
                "                 [--follow-manifests N] [--db-compact-after N]\n"
-               "                 [--candidate-cache-mb N] [--candidate-cache on|off]\n"
-               "                 [--prefix-cache-mb N] [--prefix-cache on|off]\n"
+               "                 [--cache NAME=on|off] [--cache-mb NAME=N]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
                "                 [--trace-out FILE] [--trace-mode full|flight]\n"
                "                 [--audit-out FILE]\n"
@@ -71,17 +69,15 @@ namespace {
                "                         the --repeat rounds via a LiveChunkDatabase\n"
                "  --db-compact-after N   delta chunks that trigger a live-database\n"
                "                         compaction (default 4096; 0 = every refresh)\n"
-               "  --candidate-cache-mb N byte budget (MiB) for the shared group-candidate\n"
-               "                         cache amortizing repeated group signatures across\n"
-               "                         traces and refreshes (default 64; 0 disables)\n"
-               "  --candidate-cache on|off\n"
-               "                         force the candidate cache off regardless of budget\n"
-               "                         (results are byte-identical either way)\n"
-               "  --prefix-cache-mb N    byte budget (MiB) for the shared analysis-prefix\n"
-               "                         cache memoizing the per-packet stages across\n"
-               "                         repeats and refreshes (default 32; 0 disables)\n"
-               "  --prefix-cache on|off  force the prefix cache off regardless of budget\n"
-               "                         (results are byte-identical either way)\n"
+               "  --cache NAME=on|off    toggle one shared cache tier, NAME in\n"
+               "                         {result, prefix, candidate}; results are\n"
+               "                         byte-identical with any subset enabled. Legacy\n"
+               "                         spellings --candidate-cache / --prefix-cache\n"
+               "                         (and their -mb forms) remain as aliases\n"
+               "  --cache-mb NAME=N      byte budget (MiB) for one tier (defaults:\n"
+               "                         result 64, prefix 32, candidate 64; 0 disables).\n"
+               "                         CSI_CACHE=NAME:off,... overrides from the\n"
+               "                         environment\n"
                "  --trace-out FILE       record a structured event trace; full mode writes\n"
                "                         Chrome trace-event JSON (Perfetto-loadable) at exit\n"
                "  --trace-mode full|flight\n"
@@ -229,8 +225,9 @@ int main(int argc, char** argv) {
   infer::BatchConfig batch;
   batch.threads = threads;
   batch.db_build_shards = common.db_build_threads;
-  batch.candidate_cache_mb = common.candidate_cache_budget_mb();
-  batch.prefix_cache_mb = common.prefix_cache_budget_mb();
+  batch.caches.candidate.budget_mb = common.candidate_cache_budget_mb();
+  batch.caches.prefix.budget_mb = common.prefix_cache_budget_mb();
+  batch.caches.result.budget_mb = common.result_cache_budget_mb();
   if (!quiet) {
     batch.progress = [](size_t done, size_t total_traces) {
       std::fprintf(stderr, "  ...%zu/%zu traces\n", done, total_traces);
@@ -323,11 +320,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(live->epoch()), live->num_positions(),
                 live->delta_chunks());
   }
-  if (const infer::GroupCandidateCache* cache = analyzer->candidate_cache()) {
-    std::printf("%s\n", tools::FormatCandidateCacheSummary(cache->stats()).c_str());
-  }
-  if (const infer::AnalysisPrefixCache* cache = analyzer->prefix_cache()) {
-    std::printf("%s\n", tools::FormatPrefixCacheSummary(cache->stats()).c_str());
+  {
+    const std::string cache_block = tools::FormatCacheSummaryBlock(
+        analyzer->result_cache(), analyzer->prefix_cache(), analyzer->candidate_cache());
+    if (!cache_block.empty()) {
+      std::printf("%s\n", cache_block.c_str());
+    }
   }
   {
     const std::string breakdown =
