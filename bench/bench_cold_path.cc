@@ -1,0 +1,306 @@
+// Columnar cold-path microbenchmarks (PR 10 tentpole).
+//
+// BM_ColdBatch_Aos vs BM_ColdBatch_Soa is the headline number: the same
+// cache-disabled batch (every trace pays the full per-packet pipeline)
+// analyzed through the legacy AoS walk versus the SoA columns + SIMD column
+// kernels. The per-stage pairs attribute the delta: flow classification,
+// request/size estimation (CH), traffic splitting (SQ) and the prefix-cache
+// fingerprint, each run over pre-built columns so the stage cost is isolated
+// from the one-time transpose that BM_BuildColumns measures. The kernel
+// micros compare the forced-scalar and active-SIMD dispatch of the two
+// hottest column scans on a synthetic 64k-packet column.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/capture/packet_columns.h"
+#include "src/common/rng.h"
+#include "src/common/simd.h"
+#include "src/csi/batch_analyzer.h"
+#include "src/csi/flow_classifier.h"
+#include "src/csi/prefix_cache.h"
+#include "src/csi/size_estimator.h"
+#include "src/csi/splitter.h"
+#include "src/testbed/experiment.h"
+
+using namespace csi;
+
+namespace {
+
+// One service + captured sessions per design path we attribute: CH exercises
+// the HTTPS estimator, SQ the QUIC splitter. Generated once per process;
+// columns are pre-built so stage benches never time the transpose.
+struct Workload {
+  media::Manifest manifest;
+  std::vector<capture::CaptureTrace> traces;
+  std::vector<capture::PacketColumns> columns;
+  size_t total_packets = 0;
+  // Dominant media flow of the first trace, in both layouts, so the stage
+  // benches skip classification.
+  std::vector<capture::PacketRecord> dominant_aos;
+  uint32_t dominant_flow = 0;
+};
+
+Workload MakeWorkload(infer::DesignType design) {
+  Workload w;
+  w.manifest = testbed::MakeAssetForDesign(design, 1);
+  for (int i = 0; i < 4; ++i) {
+    testbed::SessionConfig config;
+    config.design = design;
+    config.manifest = &w.manifest;
+    config.downlink = nettrace::StableTrace("s", (3 + i) * kMbps);
+    config.duration = 60 * kUsPerSec;
+    config.seed = 200 + static_cast<uint64_t>(i);
+    w.traces.push_back(testbed::RunStreamingSession(config).capture);
+    w.columns.push_back(capture::PacketColumns::Build(w.traces.back()));
+    w.total_packets += w.traces.back().size();
+  }
+  auto flows = infer::ClassifyMediaFlows(w.traces.front(), w.manifest.host);
+  size_t best = 0;
+  for (size_t f = 1; f < flows.size(); ++f) {
+    if (flows[f].downlink_bytes > flows[best].downlink_bytes) {
+      best = f;
+    }
+  }
+  w.dominant_aos = std::move(flows[best].packets);
+  const auto media = infer::ClassifyMediaFlowIds(w.columns.front(), w.manifest.host);
+  w.dominant_flow = media.front();
+  for (const uint32_t f : media) {
+    if (w.columns.front().flow_downlink_bytes(f) >
+        w.columns.front().flow_downlink_bytes(w.dominant_flow)) {
+      w.dominant_flow = f;
+    }
+  }
+  return w;
+}
+
+const Workload& ChWorkload() {
+  static const Workload* w = new Workload(MakeWorkload(infer::DesignType::kCH));
+  return *w;
+}
+
+const Workload& SqWorkload() {
+  static const Workload* w = new Workload(MakeWorkload(infer::DesignType::kSQ));
+  return *w;
+}
+
+const std::vector<capture::PacketRecord>& DominantAosFlow(const Workload& w) {
+  return w.dominant_aos;
+}
+
+capture::FlowView DominantFlowView(const Workload& w) {
+  return w.columns.front().flow(w.dominant_flow);
+}
+
+// --- Transpose --------------------------------------------------------------
+
+void BM_BuildColumns(benchmark::State& state) {
+  const Workload& w = ChWorkload();
+  for (auto _ : state) {
+    for (const capture::CaptureTrace& trace : w.traces) {
+      benchmark::DoNotOptimize(capture::PacketColumns::Build(trace));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(w.total_packets));
+}
+
+// --- Per-stage AoS vs SoA ----------------------------------------------------
+
+void BM_Classify_Aos(benchmark::State& state) {
+  const Workload& w = ChWorkload();
+  for (auto _ : state) {
+    for (const capture::CaptureTrace& trace : w.traces) {
+      benchmark::DoNotOptimize(infer::ClassifyMediaFlows(trace, w.manifest.host));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(w.total_packets));
+}
+
+void BM_Classify_Soa(benchmark::State& state) {
+  const Workload& w = ChWorkload();
+  for (auto _ : state) {
+    for (const capture::PacketColumns& columns : w.columns) {
+      benchmark::DoNotOptimize(infer::ClassifyMediaFlowIds(columns, w.manifest.host));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(w.total_packets));
+}
+
+void BM_EstimateExchanges_Aos(benchmark::State& state) {
+  const auto& flow = DominantAosFlow(ChWorkload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::EstimateExchanges(flow, /*quic=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(flow.size()));
+}
+
+void BM_EstimateExchanges_Soa(benchmark::State& state) {
+  const capture::FlowView view = DominantFlowView(ChWorkload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::EstimateExchanges(view, /*quic=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(view.size()));
+}
+
+void BM_SplitGroups_Aos(benchmark::State& state) {
+  const auto& flow = DominantAosFlow(SqWorkload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::SplitIntoGroups(flow));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(flow.size()));
+}
+
+void BM_SplitGroups_Soa(benchmark::State& state) {
+  const capture::FlowView view = DominantFlowView(SqWorkload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::SplitIntoGroups(view));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(view.size()));
+}
+
+void BM_Fingerprint_Aos(benchmark::State& state) {
+  const capture::CaptureTrace& trace = ChWorkload().traces.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::FingerprintTrace(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(trace.size()));
+}
+
+void BM_Fingerprint_Soa(benchmark::State& state) {
+  const capture::PacketColumns& columns = ChWorkload().columns.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::FingerprintColumns(columns));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(columns.packet_count()));
+}
+
+// --- End-to-end cold batch ---------------------------------------------------
+
+void RunColdBatch(benchmark::State& state, const Workload& w,
+                  infer::DesignType design, bool use_columnar) {
+  infer::InferenceConfig config;
+  config.design = design;
+  config.host_suffix = w.manifest.host;
+  config.use_columnar = use_columnar;
+  infer::BatchConfig batch;
+  batch.threads = 2;
+  batch.candidate_cache_mb = 0;
+  batch.prefix_cache_mb = 0;
+  batch.caches.result.budget_mb = 0;
+  infer::BatchAnalyzer analyzer(&w.manifest, config, batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        use_columnar ? analyzer.AnalyzeAll(w.columns) : analyzer.AnalyzeAll(w.traces));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(w.traces.size()));
+}
+
+void BM_ChColdBatch_Aos(benchmark::State& state) {
+  RunColdBatch(state, ChWorkload(), infer::DesignType::kCH, false);
+}
+void BM_ChColdBatch_Soa(benchmark::State& state) {
+  RunColdBatch(state, ChWorkload(), infer::DesignType::kCH, true);
+}
+void BM_SqColdBatch_Aos(benchmark::State& state) {
+  RunColdBatch(state, SqWorkload(), infer::DesignType::kSQ, false);
+}
+void BM_SqColdBatch_Soa(benchmark::State& state) {
+  RunColdBatch(state, SqWorkload(), infer::DesignType::kSQ, true);
+}
+
+// --- Kernel micros: scalar vs active dispatch --------------------------------
+
+struct KernelColumns {
+  std::vector<int64_t> ts;
+  std::vector<int64_t> payload;
+  std::vector<uint8_t> dir;
+};
+
+const KernelColumns& SyntheticColumns() {
+  static const KernelColumns* cols = [] {
+    auto* c = new KernelColumns;
+    Rng rng(77);
+    constexpr size_t kPackets = 64 * 1024;
+    int64_t now = 0;
+    for (size_t i = 0; i < kPackets; ++i) {
+      now += rng.UniformInt(1, 2000);
+      c->ts.push_back(now);
+      c->payload.push_back(rng.UniformInt(0, 1500));
+      c->dir.push_back(rng.Chance(0.3) ? 1 : 0);
+    }
+    return c;
+  }();
+  return *cols;
+}
+
+void RunSumInWindow(benchmark::State& state, simd::Backend backend) {
+  const KernelColumns& c = SyntheticColumns();
+  const simd::Backend saved = simd::ActiveBackend();
+  if (!simd::ForceBackend(backend)) {
+    state.SkipWithError("backend unsupported");
+    return;
+  }
+  const int64_t end = c.ts.back() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::SumInWindow(c.ts.data(), c.payload.data(), c.ts.size(), 0, end));
+  }
+  simd::ForceBackend(saved);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(c.ts.size()));
+}
+
+void BM_SumInWindow_Scalar(benchmark::State& state) {
+  RunSumInWindow(state, simd::Backend::kScalar);
+}
+void BM_SumInWindow_Simd(benchmark::State& state) {
+  RunSumInWindow(state, simd::ActiveBackend());
+}
+
+void RunCollectIndices(benchmark::State& state, simd::Backend backend) {
+  const KernelColumns& c = SyntheticColumns();
+  const simd::Backend saved = simd::ActiveBackend();
+  if (!simd::ForceBackend(backend)) {
+    state.SkipWithError("backend unsupported");
+    return;
+  }
+  std::vector<uint32_t> out(c.ts.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::CollectIndices(c.dir.data(), 1, c.payload.data(),
+                                                  infer::kQuicRequestThreshold,
+                                                  c.dir.size(), out.data()));
+  }
+  simd::ForceBackend(saved);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(c.dir.size()));
+}
+
+void BM_CollectIndices_Scalar(benchmark::State& state) {
+  RunCollectIndices(state, simd::Backend::kScalar);
+}
+void BM_CollectIndices_Simd(benchmark::State& state) {
+  RunCollectIndices(state, simd::ActiveBackend());
+}
+
+}  // namespace
+
+BENCHMARK(BM_BuildColumns);
+BENCHMARK(BM_Classify_Aos);
+BENCHMARK(BM_Classify_Soa);
+BENCHMARK(BM_EstimateExchanges_Aos);
+BENCHMARK(BM_EstimateExchanges_Soa);
+BENCHMARK(BM_SplitGroups_Aos);
+BENCHMARK(BM_SplitGroups_Soa);
+BENCHMARK(BM_Fingerprint_Aos);
+BENCHMARK(BM_Fingerprint_Soa);
+BENCHMARK(BM_ChColdBatch_Aos)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ChColdBatch_Soa)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_SqColdBatch_Aos)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_SqColdBatch_Soa)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_SumInWindow_Scalar);
+BENCHMARK(BM_SumInWindow_Simd);
+BENCHMARK(BM_CollectIndices_Scalar);
+BENCHMARK(BM_CollectIndices_Simd);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+#include "src/capture/packet_columns.h"
+
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "src/common/simd.h"
+
+namespace csi::capture {
+
+const std::string PacketColumns::empty_sni_;
+
+PacketColumns PacketColumns::Build(const CaptureTrace& trace) {
+  PacketColumns c;
+  const size_t n = trace.size();
+  c.capture_flow_.resize(n);
+
+  // Pass 1: intern flow keys in first-appearance order (the same order
+  // SplitFlows emits), count packets per flow, record first non-empty SNIs,
+  // and intern the distinct SNI strings.
+  std::map<FlowKey, uint32_t> flow_ids;
+  std::map<std::string, int32_t> sni_ids;
+  std::vector<uint32_t> counts;
+  std::vector<int32_t> capture_sni(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const PacketRecord& r = trace[i];
+    const auto [it, inserted] = flow_ids.try_emplace(
+        FlowKeyOf(r), static_cast<uint32_t>(c.flow_keys_.size()));
+    if (inserted) {
+      c.flow_keys_.push_back(it->first);
+      c.flow_snis_.emplace_back();
+      counts.push_back(0);
+    }
+    const uint32_t f = it->second;
+    c.capture_flow_[i] = f;
+    ++counts[f];
+    if (!r.sni.empty()) {
+      if (c.flow_snis_[f].empty()) {
+        c.flow_snis_[f] = r.sni;
+      }
+      const auto [sit, sni_inserted] = sni_ids.try_emplace(
+          r.sni, static_cast<int32_t>(c.sni_table_.size()));
+      if (sni_inserted) {
+        c.sni_table_.push_back(sit->first);
+      }
+      capture_sni[i] = sit->second;
+    }
+  }
+
+  const size_t flows = c.flow_keys_.size();
+  c.flow_begin_.resize(flows + 1, 0);
+  for (size_t f = 0; f < flows; ++f) {
+    c.flow_begin_[f + 1] = c.flow_begin_[f] + counts[f];
+  }
+
+  // Scatter map: flow-major slot of each capture index. When every flow's
+  // packets are already contiguous, the runs appear in first-appearance (= id)
+  // order, so the permutation is the identity and no cursors are needed.
+  c.capture_slot_.resize(n);
+  if (simd::CountRuns(c.capture_flow_.data(), n) == flows) {
+    std::iota(c.capture_slot_.begin(), c.capture_slot_.end(), 0u);
+  } else {
+    std::vector<size_t> cursor(c.flow_begin_.begin(),
+                               c.flow_begin_.begin() + flows);
+    for (size_t i = 0; i < n; ++i) {
+      c.capture_slot_[i] = static_cast<uint32_t>(cursor[c.capture_flow_[i]]++);
+    }
+  }
+
+  // Pass 2: scatter the scalar fields into the flow-major columns.
+  c.ts_.resize(n);
+  c.payload_.resize(n);
+  c.wire_.resize(n);
+  c.seq_.resize(n);
+  c.ack_.resize(n);
+  c.pn_.resize(n);
+  c.dir_.resize(n);
+  c.sni_ref_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PacketRecord& r = trace[i];
+    const uint32_t slot = c.capture_slot_[i];
+    c.ts_[slot] = r.timestamp;
+    c.payload_[slot] = r.payload;
+    c.wire_[slot] = r.wire_size;
+    c.seq_[slot] = r.tcp_seq;
+    c.ack_[slot] = r.tcp_ack;
+    c.pn_[slot] = r.quic_packet_number;
+    c.dir_[slot] = r.from_client ? 1 : 0;
+    c.sni_ref_[slot] = capture_sni[i];
+  }
+
+  // Per-flow downlink totals straight off the columns (matches the sum
+  // SplitFlows accumulated while copying packets).
+  c.flow_downlink_.resize(flows);
+  for (size_t f = 0; f < flows; ++f) {
+    const size_t b = c.flow_begin_[f];
+    c.flow_downlink_[f] = simd::DirectionMaskedSum(
+        c.dir_.data() + b, 0, c.payload_.data() + b, c.flow_begin_[f + 1] - b);
+  }
+  return c;
+}
+
+}  // namespace csi::capture

@@ -1,0 +1,164 @@
+// Columnar (structure-of-arrays) view of a capture trace.
+//
+// A `CaptureTrace` stores one ~88-byte `PacketRecord` struct (plus an
+// `std::string sni` that is empty for all but the rare ClientHello) per
+// packet. The cold inference path — classify, split, request detection, size
+// estimation, fingerprinting — only ever streams a few scalar fields at a
+// time, so `PacketColumns` transposes the trace once into parallel flat
+// columns that the SIMD kernels in src/common/simd.h can scan directly:
+//
+//   - int64 timestamp / payload / wire-size columns,
+//   - uint64 tcp-seq / tcp-ack / quic-packet-number columns,
+//   - a uint8 direction column holding exactly 0 or 1 (1 = client→server),
+//   - a small-int SNI reference column pointing into a side table of the few
+//     distinct SNI strings (satellite: SNIs are interned once per trace, not
+//     copied per packet),
+//   - a per-flow side table (5-tuple key, first non-empty SNI, downlink byte
+//     total, column span) built from the same single interning pass that
+//     `SplitFlows` used to spend materializing per-flow packet vectors.
+//
+// Storage is *flow-major*: each flow's packets occupy one contiguous span
+// `[flow_begin(f), flow_end(f))` in within-flow capture order, and flow ids
+// follow first-appearance order — exactly the flow ordering `SplitFlows`
+// produces. A `FlowView` is a non-owning {columns, flow, span} triple that the
+// estimator/splitter stages consume with zero per-flow packet copies. The
+// original capture order is retained as an index pair (flow-of, slot-of) so
+// the prefix-cache fingerprint can replay the byte-exact AoS absorption order.
+//
+// `kPacketLayoutVersion` names this layout in `csi_build_info` so metrics and
+// traces identify SoA builds.
+
+#ifndef CSI_SRC_CAPTURE_PACKET_COLUMNS_H_
+#define CSI_SRC_CAPTURE_PACKET_COLUMNS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capture/packet_record.h"
+
+namespace csi::capture {
+
+// Reported by csi_build_info (see src/common/build_info.cc, which duplicates
+// the literal to keep csi_common independent of csi_capture).
+inline constexpr char kPacketLayoutVersion[] = "soa-v1";
+
+class PacketColumns;
+
+// Non-owning view of one flow's contiguous column span. Pointer accessors are
+// already offset to the flow's first packet, so kernels index 0..size().
+struct FlowView {
+  const PacketColumns* columns = nullptr;
+  uint32_t flow = 0;
+  size_t begin = 0;  // absolute column index of the flow's first packet
+  size_t end = 0;    // one past the flow's last packet
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+
+  inline const int64_t* timestamps() const;
+  inline const int64_t* payloads() const;
+  inline const int64_t* wire_sizes() const;
+  inline const uint64_t* tcp_seqs() const;
+  inline const uint8_t* from_client() const;
+  inline bool has_sni(size_t i) const;  // i is view-relative
+  inline const FlowKey& key() const;
+  inline const std::string& sni() const;  // first non-empty SNI of the flow
+};
+
+class PacketColumns {
+ public:
+  // Transposes `trace` into columns. Two passes: one interning pass assigns
+  // flow ids in first-appearance order and counts packets per flow, then a
+  // scatter places every packet into its flow's span. When the capture is
+  // already flow-contiguous (flow-id run count == flow count) the scatter
+  // degenerates to an identity copy.
+  static PacketColumns Build(const CaptureTrace& trace);
+
+  size_t packet_count() const { return ts_.size(); }
+  size_t flow_count() const { return flow_keys_.size(); }
+
+  // Flow-major columns (size packet_count()).
+  const int64_t* timestamps() const { return ts_.data(); }
+  const int64_t* payloads() const { return payload_.data(); }
+  const int64_t* wire_sizes() const { return wire_.data(); }
+  const uint64_t* tcp_seqs() const { return seq_.data(); }
+  const uint64_t* tcp_acks() const { return ack_.data(); }
+  const uint64_t* quic_packet_numbers() const { return pn_.data(); }
+  const uint8_t* from_client() const { return dir_.data(); }
+
+  // SNI reference column: -1 for no SNI, else an index into sni_table().
+  const int32_t* sni_refs() const { return sni_ref_.data(); }
+  const std::vector<std::string>& sni_table() const { return sni_table_; }
+  // The SNI carried by flow-major slot `i` ("" when none).
+  const std::string& sni_at(size_t i) const {
+    return sni_ref_[i] < 0 ? empty_sni_ : sni_table_[sni_ref_[i]];
+  }
+
+  // Per-flow side tables (size flow_count(); ids are first-appearance order).
+  const FlowKey& flow_key(uint32_t flow) const { return flow_keys_[flow]; }
+  const std::string& flow_sni(uint32_t flow) const { return flow_snis_[flow]; }
+  int64_t flow_downlink_bytes(uint32_t flow) const {
+    return flow_downlink_[flow];
+  }
+  size_t flow_begin(uint32_t flow) const { return flow_begin_[flow]; }
+  size_t flow_end(uint32_t flow) const { return flow_begin_[flow + 1]; }
+  FlowView flow(uint32_t f) const {
+    return FlowView{this, f, flow_begin(f), flow_end(f)};
+  }
+
+  // Capture-order maps (size packet_count()): capture index i landed in flow
+  // capture_flow()[i] at flow-major slot capture_slot()[i]. These let the
+  // trace fingerprint replay the original packet order over columns.
+  const uint32_t* capture_flow() const { return capture_flow_.data(); }
+  const uint32_t* capture_slot() const { return capture_slot_.data(); }
+
+ private:
+  std::vector<int64_t> ts_;
+  std::vector<int64_t> payload_;
+  std::vector<int64_t> wire_;
+  std::vector<uint64_t> seq_;
+  std::vector<uint64_t> ack_;
+  std::vector<uint64_t> pn_;
+  std::vector<uint8_t> dir_;
+  std::vector<int32_t> sni_ref_;
+
+  std::vector<FlowKey> flow_keys_;
+  std::vector<std::string> flow_snis_;
+  std::vector<int64_t> flow_downlink_;
+  std::vector<size_t> flow_begin_;  // size flow_count() + 1
+
+  std::vector<std::string> sni_table_;
+  std::vector<uint32_t> capture_flow_;
+  std::vector<uint32_t> capture_slot_;
+
+  static const std::string empty_sni_;
+};
+
+inline const int64_t* FlowView::timestamps() const {
+  return columns->timestamps() + begin;
+}
+inline const int64_t* FlowView::payloads() const {
+  return columns->payloads() + begin;
+}
+inline const int64_t* FlowView::wire_sizes() const {
+  return columns->wire_sizes() + begin;
+}
+inline const uint64_t* FlowView::tcp_seqs() const {
+  return columns->tcp_seqs() + begin;
+}
+inline const uint8_t* FlowView::from_client() const {
+  return columns->from_client() + begin;
+}
+inline bool FlowView::has_sni(size_t i) const {
+  return columns->sni_refs()[begin + i] >= 0;
+}
+inline const FlowKey& FlowView::key() const { return columns->flow_key(flow); }
+inline const std::string& FlowView::sni() const {
+  return columns->flow_sni(flow);
+}
+
+}  // namespace csi::capture
+
+#endif  // CSI_SRC_CAPTURE_PACKET_COLUMNS_H_

@@ -25,6 +25,9 @@ bool CandidateCacheEnvOff() {
 telemetry::Labels BuildInfoLabels() {
   return {
       {"candidate_cache_default", CandidateCacheEnvOff() ? "off" : "on"},
+      // Mirrors capture::kPacketLayoutVersion (packet_columns.h); duplicated
+      // here so csi_common does not depend on csi_capture.
+      {"packet_layout", "soa-v1"},
       {"simd",
 #if defined(CSI_SIMD_DISABLED)
        "off"

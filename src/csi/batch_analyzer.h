@@ -61,7 +61,9 @@ struct BatchConfig {
   int candidate_cache_mb = -1;
   int prefix_cache_mb = -1;
   // Test seam / fault injection: when set, called instead of
-  // InferenceEngine::Analyze for every trace.
+  // InferenceEngine::Analyze for every trace. Trace-mode batches only — the
+  // columnar AnalyzeAll overloads have no AoS trace to hand it and always go
+  // through the engine.
   std::function<InferenceResult(const capture::CaptureTrace&)> analyze_override;
   // Invoked with (completed, total) after every `progress_every`-th completed
   // trace and once at batch end. Called from worker threads, serialized by a
@@ -118,6 +120,22 @@ class BatchAnalyzer {
                                           std::vector<std::string>* trace_errors = nullptr,
                                           std::vector<InferenceAudit>* audits = nullptr);
 
+  // Columnar batches: identical fan-out, fault isolation and out-params over
+  // pre-built PacketColumns (see InferenceEngine::Analyze(PacketColumns)).
+  // Callers that re-analyze the same captures (csi_batch --repeat /
+  // --follow-manifests) transpose once up front and every pass skips the
+  // per-trace column build and the AoS fingerprint walk.
+  std::vector<InferenceResult> AnalyzeAll(
+      const std::vector<const capture::PacketColumns*>& columns,
+      std::vector<double>* trace_seconds = nullptr,
+      std::vector<std::string>* trace_errors = nullptr,
+      std::vector<InferenceAudit>* audits = nullptr);
+  std::vector<InferenceResult> AnalyzeAll(
+      const std::vector<capture::PacketColumns>& columns,
+      std::vector<double>* trace_seconds = nullptr,
+      std::vector<std::string>* trace_errors = nullptr,
+      std::vector<InferenceAudit>* audits = nullptr);
+
   const InferenceEngine& engine() const { return engine_; }
   int threads() const { return pool_.num_workers(); }
   // The shared group-candidate cache (caller-provided or analyzer-created);
@@ -142,6 +160,16 @@ class BatchAnalyzer {
                                     const BatchConfig& batch, ThreadPool* pool);
   static InferenceEngine MakeEngine(DbSnapshot snapshot, InferenceConfig config,
                                     const BatchConfig& batch, ThreadPool* pool);
+
+  // Shared fan-out core of every AnalyzeAll flavor: by-index slots, per-trace
+  // timing/fault isolation/telemetry, progress throttling. `analyze_one` runs
+  // on a worker thread and may throw; the wrapper contains the damage.
+  std::vector<InferenceResult> RunBatch(
+      size_t total,
+      const std::function<InferenceResult(size_t index, InferenceAudit* audit)>&
+          analyze_one,
+      std::vector<double>* trace_seconds, std::vector<std::string>* trace_errors,
+      std::vector<InferenceAudit>* audits);
 
   BatchConfig batch_;
   ThreadPool pool_;

@@ -159,12 +159,13 @@ void InferenceEngine::MergePhantomSplits(std::vector<EstimatedExchange>* exchang
   }
 }
 
-AnalysisPrefix InferenceEngine::ComputePrefix(const capture::CaptureTrace& trace) const {
+AnalysisPrefix InferenceEngine::ComputePrefixAoS(const capture::CaptureTrace& trace) const {
   AnalysisPrefix prefix;
   std::vector<Flow> flows;
   {
     CSI_SPAN("flow_classify");
-    CSI_TRACE_SPAN("flow_classify", "stage");
+    CSI_TRACE_SPAN_ARGS("flow_classify", "stage",
+                        {"packets", static_cast<int64_t>(trace.size())});
     flows = ClassifyMediaFlows(trace, config_.host_suffix);
   }
   prefix.media_flows = static_cast<int>(flows.size());
@@ -179,11 +180,13 @@ AnalysisPrefix InferenceEngine::ComputePrefix(const capture::CaptureTrace& trace
 
   if (config_.design == DesignType::kSQ) {
     CSI_SPAN("traffic_split");
-    CSI_TRACE_SPAN("traffic_split", "stage");
+    CSI_TRACE_SPAN_ARGS("traffic_split", "stage",
+                        {"packets", static_cast<int64_t>(main_flow->packets.size())});
     prefix.groups = SplitIntoGroups(main_flow->packets, config_.splitter);
   } else {
     CSI_SPAN("size_estimate");
-    CSI_TRACE_SPAN("size_estimate", "stage");
+    CSI_TRACE_SPAN_ARGS("size_estimate", "stage",
+                        {"packets", static_cast<int64_t>(main_flow->packets.size())});
     for (const EstimatedExchange& ex :
          EstimateExchanges(main_flow->packets, IsQuic(config_.design))) {
       if (ex.carries_sni) {
@@ -200,12 +203,75 @@ AnalysisPrefix InferenceEngine::ComputePrefix(const capture::CaptureTrace& trace
   return prefix;
 }
 
+AnalysisPrefix InferenceEngine::ComputePrefixColumns(
+    const capture::PacketColumns& columns) const {
+  AnalysisPrefix prefix;
+  std::vector<uint32_t> media;
+  {
+    CSI_SPAN("flow_classify");
+    CSI_TRACE_SPAN_ARGS("flow_classify", "stage",
+                        {"packets", static_cast<int64_t>(columns.packet_count())});
+    media = ClassifyMediaFlowIds(columns, config_.host_suffix);
+  }
+  prefix.media_flows = static_cast<int>(media.size());
+  if (media.empty()) {
+    return prefix;
+  }
+  // First-max over the per-flow downlink totals: media ids ascend in
+  // first-appearance order, so this picks the same flow max_element picks on
+  // the AoS flow vector.
+  uint32_t main_flow = media.front();
+  for (const uint32_t f : media) {
+    if (columns.flow_downlink_bytes(f) > columns.flow_downlink_bytes(main_flow)) {
+      main_flow = f;
+    }
+  }
+  const capture::FlowView view = columns.flow(main_flow);
+
+  if (config_.design == DesignType::kSQ) {
+    CSI_SPAN("traffic_split");
+    CSI_TRACE_SPAN_ARGS("traffic_split", "stage",
+                        {"packets", static_cast<int64_t>(view.size())});
+    prefix.groups = SplitIntoGroups(view, config_.splitter);
+  } else {
+    CSI_SPAN("size_estimate");
+    CSI_TRACE_SPAN_ARGS("size_estimate", "stage",
+                        {"packets", static_cast<int64_t>(view.size())});
+    for (const EstimatedExchange& ex :
+         EstimateExchanges(view, IsQuic(config_.design))) {
+      if (ex.carries_sni) {
+        // Handshake exchange (ClientHello / QUIC Initial): the data in its
+        // window is the server's handshake flight, not a media object.
+        continue;
+      }
+      prefix.exchanges.push_back(ex);
+    }
+    // Merge repair stays OUT of the prefix (see ComputePrefixAoS).
+  }
+  return prefix;
+}
+
 InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
                                          const DisplayConstraints& display,
                                          InferenceAudit* audit) const {
+  return AnalyzeImpl(&trace, nullptr, display, audit);
+}
+
+InferenceResult InferenceEngine::Analyze(const capture::PacketColumns& columns,
+                                         const DisplayConstraints& display,
+                                         InferenceAudit* audit) const {
+  return AnalyzeImpl(nullptr, &columns, display, audit);
+}
+
+InferenceResult InferenceEngine::AnalyzeImpl(const capture::CaptureTrace* trace,
+                                             const capture::PacketColumns* columns,
+                                             const DisplayConstraints& display,
+                                             InferenceAudit* audit) const {
+  const size_t packet_count =
+      trace != nullptr ? trace->size() : columns->packet_count();
   CSI_SPAN("analyze");
   CSI_TRACE_SPAN_ARGS("analyze", "stage",
-                      {"packets", static_cast<int64_t>(trace.size())});
+                      {"packets", static_cast<int64_t>(packet_count)});
   CSI_COUNTER_INC("csi_analyze_calls_total");
 
   AnalysisPrefixCache* const prefix_cache =
@@ -218,10 +284,13 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
       config_.caches.result != nullptr && !ResultCache::EnvForcesOff() && display.empty()
           ? config_.caches.result.get()
           : nullptr;
-  // One fingerprint pass feeds both the result- and prefix-tier keys.
+  // One fingerprint pass feeds both the result- and prefix-tier keys. The
+  // two flavors produce the same digest for the same capture, so entries are
+  // shared across AoS and columnar callers.
   TraceFingerprint fingerprint;
   if (result_cache != nullptr || prefix_cache != nullptr) {
-    fingerprint = FingerprintTrace(trace);
+    fingerprint = columns != nullptr ? FingerprintColumns(*columns)
+                                     : FingerprintTrace(*trace);
   }
   ResultCache::Query result_query;
   if (result_cache != nullptr) {
@@ -268,7 +337,25 @@ InferenceResult InferenceEngine::Analyze(const capture::CaptureTrace& trace,
     prefix = prefix_cache->Lookup(prefix_query);
   }
   if (prefix == nullptr) {
-    auto computed = std::make_shared<AnalysisPrefix>(ComputePrefix(trace));
+    std::shared_ptr<AnalysisPrefix> computed;
+    if (columns != nullptr) {
+      computed = std::make_shared<AnalysisPrefix>(ComputePrefixColumns(*columns));
+    } else if (config_.use_columnar) {
+      // Transpose lazily — only when the prefix actually has to be
+      // recomputed — so warm cache hits never pay for a column build.
+      capture::PacketColumns built;
+      {
+        CSI_SPAN("column_build");
+        CSI_TRACE_SPAN_ARGS("column_build", "stage",
+                            {"packets", static_cast<int64_t>(trace->size())});
+        built = capture::PacketColumns::Build(*trace);
+      }
+      CSI_TRACE_INSTANT("column_layout", "stage",
+                        {"flows", static_cast<int64_t>(built.flow_count())});
+      computed = std::make_shared<AnalysisPrefix>(ComputePrefixColumns(built));
+    } else {
+      computed = std::make_shared<AnalysisPrefix>(ComputePrefixAoS(*trace));
+    }
     if (prefix_cache != nullptr) {
       prefix_cache->Insert(prefix_query, computed);
     }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "src/capture/packet_columns.h"
 #include "src/capture/packet_record.h"
 #include "src/csi/audit.h"
 #include "src/csi/chunk_database.h"
@@ -40,6 +41,12 @@ struct InferenceConfig {
   int max_sequences = 512;
   SplitterConfig splitter;
   int max_candidates_per_group = 5000;
+  // Run the per-packet cold stages over the columnar (SoA) capture layout
+  // with the SIMD column kernels. Output is byte-identical either way (the
+  // cold-path differential test locks this in), so the knob is deliberately
+  // excluded from the prefix/result cache contexts — cached entries are
+  // interchangeable between layouts. Off = the legacy AoS reference path.
+  bool use_columnar = true;
   // Ablation switches (see bench_ablation_robustness).
   bool enable_wildcards = true;
   bool enable_merge_repair = true;
@@ -111,6 +118,17 @@ class InferenceEngine {
                           const DisplayConstraints& display = {},
                           InferenceAudit* audit = nullptr) const;
 
+  // Columnar entry point: analyzes a pre-built PacketColumns (see
+  // capture/packet_columns.h) without ever touching an AoS trace — the
+  // fingerprint mixes over the columns and the cold stages consume FlowViews.
+  // Byte-identical to Analyze on the trace the columns were built from;
+  // callers that analyze the same capture repeatedly (csi_batch --repeat,
+  // --follow-manifests) build the columns once and skip the per-call
+  // transpose entirely.
+  InferenceResult Analyze(const capture::PacketColumns& columns,
+                          const DisplayConstraints& display = {},
+                          InferenceAudit* audit = nullptr) const;
+
   // Re-points the engine at a newer database version (e.g. after a
   // LiveChunkDatabase publish). Config stays frozen — defaults derived from
   // the construction-time manifest are not recomputed. NOT safe to call while
@@ -126,11 +144,24 @@ class InferenceEngine {
  private:
   // Shared tail of both constructors: config defaults derived from manifest_.
   void FinishConfig();
+  // Shared body of both Analyze overloads: exactly one of trace/columns is
+  // non-null. The fingerprint and (on a prefix-cache miss) the cold stages
+  // run off whichever representation the caller provided; the trace flavor
+  // transposes to columns lazily — only when the prefix actually has to be
+  // recomputed — so warm cache hits never pay for a column build.
+  InferenceResult AnalyzeImpl(const capture::CaptureTrace* trace,
+                              const capture::PacketColumns* columns,
+                              const DisplayConstraints& display,
+                              InferenceAudit* audit) const;
   // The snapshot-independent front of Analyze: flow classification plus — for
   // the dominant media flow — SP1/SP2 traffic splitting (SQ) or SNI-filtered
   // per-exchange size estimation (pre-merge-repair). A pure function of
-  // (trace, design, host_suffix, splitter); what the prefix cache memoizes.
-  AnalysisPrefix ComputePrefix(const capture::CaptureTrace& trace) const;
+  // (capture, design, host_suffix, splitter); what the prefix cache memoizes.
+  // Two byte-identical implementations: the legacy AoS walk (the differential
+  // reference, reachable via use_columnar = false) and the columnar one.
+  AnalysisPrefix ComputePrefixAoS(const capture::CaptureTrace& trace) const;
+  AnalysisPrefix ComputePrefixColumns(
+      const capture::PacketColumns& columns) const;
   // True if `estimate` satisfies Property (1) for some video chunk, audio
   // chunk, or known non-media object.
   bool MatchesSomething(Bytes estimate, double k) const;

@@ -31,36 +31,75 @@ inline uint64_t MixStep(uint64_t h, uint64_t v) {
 // latched in a function-local static and cannot be flipped after first use).
 std::atomic<bool> g_force_env_off{false};
 
+// Accumulates the two mixes over the observer-visible field stream. The AoS
+// and columnar fingerprints both feed packets through AbsorbPacket in capture
+// order, so they cannot drift apart field-by-field.
+struct Mixer {
+  uint64_t lo = kFnvOffset;
+  uint64_t hi = 0x9AE16A3B2F90404Full;  // arbitrary odd seed, distinct from lo
+
+  void Absorb(uint64_t v) {
+    lo = FnvStep(lo, v);
+    hi = MixStep(hi, v);
+  }
+
+  void AbsorbPacket(TimeUs timestamp, const capture::FlowKey& key,
+                    bool from_client, Bytes payload, Bytes wire_size,
+                    uint64_t tcp_seq, uint64_t tcp_ack,
+                    uint64_t quic_packet_number, const std::string& sni) {
+    Absorb(static_cast<uint64_t>(timestamp));
+    // Pack the small fields into one word so short traces still stir both
+    // accumulators per packet instead of feeding runs of near-zero words.
+    Absorb((static_cast<uint64_t>(key.client_port) << 48) |
+           (static_cast<uint64_t>(key.server_port) << 32) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(key.transport)) << 8) |
+           static_cast<uint64_t>(from_client ? 1 : 0));
+    Absorb((static_cast<uint64_t>(key.client_ip) << 32) |
+           static_cast<uint64_t>(key.server_ip));
+    Absorb(static_cast<uint64_t>(payload));
+    Absorb(static_cast<uint64_t>(wire_size));
+    Absorb(tcp_seq);
+    Absorb(tcp_ack);
+    Absorb(quic_packet_number);
+    Absorb(static_cast<uint64_t>(sni.size()));
+    for (const char c : sni) {
+      Absorb(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+    }
+  }
+};
+
 }  // namespace
 
 TraceFingerprint FingerprintTrace(const capture::CaptureTrace& trace) {
-  uint64_t lo = kFnvOffset;
-  uint64_t hi = 0x9AE16A3B2F90404Full;  // arbitrary odd seed, distinct from lo
-  const auto absorb = [&lo, &hi](uint64_t v) {
-    lo = FnvStep(lo, v);
-    hi = MixStep(hi, v);
-  };
-  absorb(static_cast<uint64_t>(trace.size()));
+  Mixer mixer;
+  mixer.Absorb(static_cast<uint64_t>(trace.size()));
   for (const capture::PacketRecord& p : trace) {
-    absorb(static_cast<uint64_t>(p.timestamp));
-    // Pack the small fields into one word so short traces still stir both
-    // accumulators per packet instead of feeding runs of near-zero words.
-    absorb((static_cast<uint64_t>(p.client_port) << 48) |
-           (static_cast<uint64_t>(p.server_port) << 32) |
-           (static_cast<uint64_t>(static_cast<uint8_t>(p.transport)) << 8) |
-           static_cast<uint64_t>(p.from_client ? 1 : 0));
-    absorb((static_cast<uint64_t>(p.client_ip) << 32) | static_cast<uint64_t>(p.server_ip));
-    absorb(static_cast<uint64_t>(p.payload));
-    absorb(static_cast<uint64_t>(p.wire_size));
-    absorb(p.tcp_seq);
-    absorb(p.tcp_ack);
-    absorb(p.quic_packet_number);
-    absorb(static_cast<uint64_t>(p.sni.size()));
-    for (const char c : p.sni) {
-      absorb(static_cast<uint64_t>(static_cast<uint8_t>(c)));
-    }
+    mixer.AbsorbPacket(p.timestamp, FlowKeyOf(p), p.from_client, p.payload,
+                       p.wire_size, p.tcp_seq, p.tcp_ack, p.quic_packet_number,
+                       p.sni);
   }
-  return TraceFingerprint{lo, hi};
+  return TraceFingerprint{mixer.lo, mixer.hi};
+}
+
+TraceFingerprint FingerprintColumns(const capture::PacketColumns& columns) {
+  Mixer mixer;
+  const size_t n = columns.packet_count();
+  mixer.Absorb(static_cast<uint64_t>(n));
+  // Replay the original capture order through the (flow, slot) maps so the
+  // field stream matches FingerprintTrace exactly.
+  const uint32_t* flow_of = columns.capture_flow();
+  const uint32_t* slot_of = columns.capture_slot();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t slot = slot_of[i];
+    mixer.AbsorbPacket(columns.timestamps()[slot],
+                       columns.flow_key(flow_of[i]),
+                       columns.from_client()[slot] != 0,
+                       columns.payloads()[slot], columns.wire_sizes()[slot],
+                       columns.tcp_seqs()[slot], columns.tcp_acks()[slot],
+                       columns.quic_packet_numbers()[slot],
+                       columns.sni_at(slot));
+  }
+  return TraceFingerprint{mixer.lo, mixer.hi};
 }
 
 size_t AnalysisPrefixCache::QueryHash::operator()(const Query& q) const {
@@ -112,6 +151,14 @@ AnalysisPrefixCache::Query AnalysisPrefixCache::MakeQuery(const capture::Capture
                                                           uint32_t context) {
   Query q;
   q.fingerprint = FingerprintTrace(trace);
+  q.context = context;
+  return q;
+}
+
+AnalysisPrefixCache::Query AnalysisPrefixCache::MakeQuery(
+    const capture::PacketColumns& columns, uint32_t context) {
+  Query q;
+  q.fingerprint = FingerprintColumns(columns);
   q.context = context;
   return q;
 }

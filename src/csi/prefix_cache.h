@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "src/capture/packet_columns.h"
 #include "src/capture/packet_record.h"
 #include "src/csi/cache_common.h"
 #include "src/csi/splitter.h"
@@ -65,6 +66,13 @@ struct TraceFingerprint {
 };
 
 TraceFingerprint FingerprintTrace(const capture::CaptureTrace& trace);
+
+// Identical digest computed from the columnar layout: replays the original
+// capture order through the columns' (flow, slot) maps so the field stream —
+// and therefore the fingerprint — is bit-identical to FingerprintTrace over
+// the trace the columns were built from. Cached prefixes are interchangeable
+// between the AoS and SoA paths.
+TraceFingerprint FingerprintColumns(const capture::PacketColumns& columns);
 
 // Immutable output of the snapshot-independent front of Analyze: flow
 // classification plus — for the dominant media flow — either the split
@@ -125,6 +133,10 @@ class AnalysisPrefixCache {
   // Fingerprints `trace` and assembles the key. O(packets), but pure
   // arithmetic — far cheaper than the classify/split work a hit skips.
   static Query MakeQuery(const capture::CaptureTrace& trace, uint32_t context);
+
+  // Columnar flavor: same key for the same capture (see FingerprintColumns).
+  static Query MakeQuery(const capture::PacketColumns& columns,
+                         uint32_t context);
 
   // Returns the cached prefix, or null on a miss. Never blocks behind an
   // insert on another shard; entries are valid under every database snapshot

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "src/capture/packet_columns.h"
 #include "src/capture/packet_record.h"
 #include "src/csi/types.h"
 
@@ -43,6 +44,16 @@ std::vector<EstimatedExchange> EstimateExchanges(const std::vector<capture::Pack
 // Total estimated downlink object bytes in the half-open time window
 // [begin, end). Set end < 0 for "until the end of the flow".
 Bytes EstimateDownlinkBytes(const std::vector<capture::PacketRecord>& flow, bool quic,
+                            TimeUs begin, TimeUs end);
+
+// Columnar overloads: identical semantics (and byte-identical output — the
+// cold-path differential test locks this in) over a zero-copy FlowView,
+// with the per-packet scans running through the SIMD column kernels.
+std::vector<DetectedRequest> DetectRequests(const capture::FlowView& flow,
+                                            bool quic);
+std::vector<EstimatedExchange> EstimateExchanges(const capture::FlowView& flow,
+                                                 bool quic);
+Bytes EstimateDownlinkBytes(const capture::FlowView& flow, bool quic,
                             TimeUs begin, TimeUs end);
 
 }  // namespace csi::infer

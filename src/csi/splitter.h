@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "src/capture/packet_columns.h"
 #include "src/capture/packet_record.h"
 #include "src/csi/size_estimator.h"
 #include "src/csi/types.h"
@@ -44,6 +45,12 @@ struct TrafficGroup {
 
 // Splits a QUIC flow into traffic groups.
 std::vector<TrafficGroup> SplitIntoGroups(const std::vector<capture::PacketRecord>& flow,
+                                          const SplitterConfig& config = {});
+
+// Columnar overload: identical split decisions and group totals (byte-exact,
+// checked by the cold-path differential test) over a zero-copy FlowView; the
+// downlink-data scan and per-group byte sums run through the SIMD kernels.
+std::vector<TrafficGroup> SplitIntoGroups(const capture::FlowView& flow,
                                           const SplitterConfig& config = {});
 
 }  // namespace csi::infer

@@ -175,7 +175,7 @@ TEST(InferenceE2e, EmptyCaptureYieldsNoSequences) {
   infer::InferenceConfig config;
   config.design = DesignType::kCH;
   const infer::InferenceEngine engine(&manifest, config);
-  const auto result = engine.Analyze({});
+  const auto result = engine.Analyze(capture::CaptureTrace{});
   EXPECT_TRUE(result.sequences.empty());
 }
 

@@ -138,7 +138,7 @@ TEST(Splitter, GroupSizesEstimateWindows) {
 }
 
 TEST(Splitter, EmptyFlowYieldsNoGroups) {
-  EXPECT_TRUE(SplitIntoGroups({}).empty());
+  EXPECT_TRUE(SplitIntoGroups(std::vector<capture::PacketRecord>{}).empty());
 }
 
 TEST(Splitter, RealSqSessionGroupsAreSmall) {

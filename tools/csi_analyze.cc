@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/capture/packet_columns.h"
 #include "src/capture/pcap_io.h"
 #include "src/common/table.h"
 #include "src/common/tracing.h"
@@ -85,10 +86,13 @@ int main(int argc, char** argv) {
   // Before the database build so the build spans land in the trace.
   tools::StartTraceSessionIfRequested(common);
   const media::Manifest manifest = media::Manifest::Parse(manifest_text);
-  const capture::CaptureTrace trace = capture::ReadPcap(pcap_path);
+  // Transpose to the columnar layout right after the pcap parse; the AoS
+  // trace never reaches the engine.
+  const capture::PacketColumns columns =
+      capture::PacketColumns::Build(capture::ReadPcap(pcap_path));
   std::printf("loaded %zu packets, manifest %s: %d video tracks x %d chunks%s\n",
-              trace.size(), manifest.asset_id.c_str(), manifest.num_video_tracks(),
-              manifest.num_positions(),
+              columns.packet_count(), manifest.asset_id.c_str(),
+              manifest.num_video_tracks(), manifest.num_positions(),
               manifest.has_separate_audio() ? " + audio" : "");
 
   infer::InferenceConfig config;
@@ -123,7 +127,7 @@ int main(int argc, char** argv) {
   infer::InferenceAudit audit;
   infer::InferenceResult result;
   try {
-    result = engine.Analyze(trace, {}, &audit);
+    result = engine.Analyze(columns, {}, &audit);
   } catch (const std::exception& e) {
     // Same post-mortem path as BatchAnalyzer: a flight-mode session dumps the
     // last events before the error surfaces.

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/capture/packet_columns.h"
 #include "src/capture/pcap_io.h"
 #include "src/common/stats.h"
 #include "src/common/telemetry.h"
@@ -217,6 +218,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: skipped %s: %s\n", path.c_str(), what.c_str());
   }
 
+  // Transpose every capture to the columnar layout once, up front: each
+  // --repeat / --follow-manifests round then analyzes the PacketColumns
+  // directly, so repeats never pay the per-call column build — and the AoS
+  // traces are released here since the columns carry everything inference
+  // reads.
+  std::vector<capture::PacketColumns> columns;
+  columns.reserve(traces.size());
+  for (const capture::CaptureTrace& trace : traces) {
+    columns.push_back(capture::PacketColumns::Build(trace));
+  }
+  traces = {};
+
   infer::InferenceConfig config;
   config.design = common.design();
   if (!common.host_suffix.empty()) {
@@ -297,7 +310,7 @@ int main(int argc, char** argv) {
                      snapshot.num_positions(), snapshot.delta_chunks());
       }
     }
-    results = analyzer->AnalyzeAll(traces, &trace_seconds, &trace_errors, audits_out);
+    results = analyzer->AnalyzeAll(columns, &trace_seconds, &trace_errors, audits_out);
   }
   const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
   if (live.has_value()) {
@@ -311,7 +324,7 @@ int main(int argc, char** argv) {
                   trace_seconds[i]);
     }
   }
-  const double sessions = static_cast<double>(traces.size()) * repeat;
+  const double sessions = static_cast<double>(columns.size()) * repeat;
   std::printf("analyzed %.0f session(s) in %.3f s on %d worker(s): %.2f sessions/sec\n",
               sessions, elapsed.count(), analyzer->threads(),
               sessions / std::max(elapsed.count(), 1e-9));
